@@ -1,0 +1,62 @@
+// Command dlrmperf-bench runs the kernel microbenchmark sweep for one
+// kernel family on one (simulated) device and writes the dataset as JSON,
+// the Analysis-Track artifact of Fig. 3.
+//
+// Usage:
+//
+//	dlrmperf-bench -kernel GEMM -n 2000 -device V100 -o gemm_v100.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"dlrmperf/internal/hw"
+	"dlrmperf/internal/kernels"
+	"dlrmperf/internal/microbench"
+)
+
+func main() {
+	kernel := flag.String("kernel", "GEMM", "kernel kind (GEMM, EL-F, EL-B, concat, memcpy, transpose, tril-F, tril-B, elementwise, conv, batchnorm)")
+	n := flag.Int("n", 1000, "number of shapes to sweep")
+	device := flag.String("device", hw.V100, "device name")
+	seed := flag.Uint64("seed", 2022, "random seed")
+	out := flag.String("o", "", "output JSON path (default: stdout)")
+	flag.Parse()
+
+	p, err := hw.ByName(*device)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var kind kernels.Kind
+	found := false
+	for _, k := range kernels.Kinds() {
+		if k.String() == *kernel {
+			kind = k
+			found = true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown kernel kind %q\n", *kernel)
+		os.Exit(1)
+	}
+
+	ds := microbench.CollectKind(p.GPU, kind, *n, *seed)
+	data, err := json.MarshalIndent(ds, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *out == "" {
+		fmt.Println(string(data))
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d samples of %s on %s to %s\n", len(ds.Samples), kind, p.GPU.Name, *out)
+}

@@ -1,0 +1,52 @@
+// Command dlrmperf-breakdown runs a workload on the simulated device and
+// prints the Fig. 5-style device time breakdown: per-op device time,
+// idle share, and GPU utilization.
+//
+// Usage:
+//
+//	dlrmperf-breakdown -model DLRM_MLPerf -batch 2048 -device V100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dlrmperf/internal/export"
+	"dlrmperf/internal/hw"
+	"dlrmperf/internal/models"
+	"dlrmperf/internal/sim"
+)
+
+func main() {
+	model := flag.String("model", models.NameDLRMDefault, "workload name")
+	batch := flag.Int64("batch", 2048, "batch size")
+	device := flag.String("device", hw.V100, "device name")
+	seed := flag.Uint64("seed", 2022, "random seed")
+	iters := flag.Int("iters", 30, "measured iterations")
+	flag.Parse()
+
+	p, err := hw.ByName(*device)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	m, err := models.Build(*model, *batch)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	r := sim.Run(m.Graph, sim.Config{
+		Platform: p, Seed: *seed, Warmup: 5, Iters: *iters, Workload: m.Name,
+	})
+
+	fmt.Printf("%s  batch=%d  device=%s\n", m.Name, *batch, p.GPU.Name)
+	fmt.Printf("per-batch: %.0f us   active: %.0f us   utilization: %.1f%%\n\n",
+		r.MeanIterTime, r.MeanActiveTime, 100*r.Trace.Utilization())
+
+	t := export.NewTable("Device time breakdown (profiler-style)", "op", "time", "share")
+	for _, e := range r.Trace.Breakdown(0.005) {
+		t.AddRow(e.Op, export.Us(e.Time), export.PctAbs(e.Share))
+	}
+	fmt.Println(t.Render())
+}

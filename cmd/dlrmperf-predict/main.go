@@ -1,0 +1,64 @@
+// Command dlrmperf-predict runs the full prediction pipeline for one
+// workload on one device: calibrate kernel models, collect overheads from
+// a profiled run, predict the per-batch training time with Algorithm 1,
+// and compare against the measured (simulated) time.
+//
+// Usage:
+//
+//	dlrmperf-predict -model DLRM_default -batch 2048 -device V100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dlrmperf"
+)
+
+func main() {
+	model := flag.String("model", dlrmperf.DLRMDefault, "workload name")
+	batch := flag.Int64("batch", 2048, "batch size")
+	device := flag.String("device", dlrmperf.V100, "device name")
+	seed := flag.Uint64("seed", 2022, "random seed")
+	flag.Parse()
+
+	pipe, err := dlrmperf.NewPipeline(*device, dlrmperf.WithSeed(*seed))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	w, err := dlrmperf.NewModel(*model, *batch)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload: %s  batch=%d  ops=%d  kernels=%d  device=%s\n",
+		w.Name(), w.BatchSize(), w.Ops(), w.Kernels(), pipe.Device())
+
+	meas := pipe.Measure(w, *seed+1)
+	db, err := pipe.CollectOverheads(w, *seed+2)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	pred, err := pipe.Predict(w, db)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	ko, err := pipe.KernelOnly(w)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	rel := func(p float64) float64 { return 100 * (p - meas.IterTimeUs) / meas.IterTimeUs }
+	fmt.Printf("measured:        %10.0f us per batch (active %0.f us, utilization %.1f%%)\n",
+		meas.IterTimeUs, meas.ActiveTimeUs, 100*meas.Utilization)
+	fmt.Printf("predicted E2E:   %10.0f us  (%+.2f%%)\n", pred.E2EUs, rel(pred.E2EUs))
+	fmt.Printf("predicted active:%10.0f us  (%+.2f%% vs measured active)\n",
+		pred.ActiveUs, 100*(pred.ActiveUs-meas.ActiveTimeUs)/meas.ActiveTimeUs)
+	fmt.Printf("kernel-only:     %10.0f us  (%+.2f%%)\n", ko, rel(ko))
+}

@@ -1,0 +1,65 @@
+// Command dlrmperf-train calibrates the full kernel performance model
+// registry for a device and prints the Table IV evaluation rows. With
+// -paper-grid it runs the full 280-point Table II hyperparameter search
+// per ML model, as the paper does (hours instead of seconds).
+//
+// Usage:
+//
+//	dlrmperf-train -device V100 [-grid|-paper-grid] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dlrmperf/internal/export"
+	"dlrmperf/internal/hw"
+	"dlrmperf/internal/mlp"
+	"dlrmperf/internal/perfmodel"
+)
+
+func main() {
+	device := flag.String("device", hw.V100, "device name")
+	seed := flag.Uint64("seed", 2022, "random seed")
+	grid := flag.Bool("grid", false, "use the fast hyperparameter grid")
+	paperGrid := flag.Bool("paper-grid", false, "use the full Table II grid (280 configs per model)")
+	cnn := flag.Bool("cnn", true, "also calibrate conv/batch-norm models")
+	out := flag.String("o", "", "write the calibrated model registry as JSON to this path")
+	flag.Parse()
+
+	p, err := hw.ByName(*device)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	opts := perfmodel.CalibOptions{Seed: *seed, IncludeCNN: *cnn}
+	if *paperGrid {
+		opts.UseGridSearch = true
+		opts.Space = mlp.PaperSearchSpace()
+	} else if *grid {
+		opts.UseGridSearch = true
+	}
+
+	cal := perfmodel.Calibrate(p.GPU, opts)
+	t := export.NewTable(fmt.Sprintf("Kernel performance models on %s (held-out evaluation)", p.GPU.Name),
+		"kernel", "GMAE", "mean", "std", "n")
+	for _, e := range cal.Evals {
+		t.AddRow(e.Row, export.PctAbs(e.Summary.GMAE), export.PctAbs(e.Summary.Mean),
+			export.PctAbs(e.Summary.Std), e.Summary.N)
+	}
+	fmt.Println(t.Render())
+
+	if *out != "" {
+		data, err := perfmodel.SaveRegistry(cal.Registry)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote calibrated models to %s\n", *out)
+	}
+}

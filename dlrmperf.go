@@ -1,0 +1,383 @@
+// Package dlrmperf is the public API of the DLRM GPU-training performance
+// model — a Go reproduction of "Building a Performance Model for Deep
+// Learning Recommendation Model Training on GPUs" (ISPASS 2022).
+//
+// The package wires together the reproduction's components behind a small
+// surface:
+//
+//	pipe, _ := dlrmperf.NewPipeline(dlrmperf.V100)
+//	w, _ := dlrmperf.NewModel(dlrmperf.DLRMDefault, 2048)
+//	meas := pipe.Measure(w, 1)                   // simulated "hardware" run
+//	db, _ := pipe.CollectOverheads(w, 2)         // trace -> overhead stats
+//	pred, _ := pipe.Predict(w, db)               // Algorithm 1
+//	fmt.Printf("measured %.2fms predicted %.2fms\n",
+//	    meas.IterTimeUs/1000, pred.E2EUs/1000)
+//
+// Everything is deterministic in the seeds, runs offline, and uses only
+// the standard library.
+package dlrmperf
+
+import (
+	"fmt"
+
+	"dlrmperf/internal/kernels"
+
+	"dlrmperf/internal/graph"
+	"dlrmperf/internal/hw"
+	"dlrmperf/internal/models"
+	"dlrmperf/internal/ops"
+	"dlrmperf/internal/overhead"
+	"dlrmperf/internal/perfmodel"
+	"dlrmperf/internal/predict"
+	"dlrmperf/internal/sim"
+)
+
+// Supported device names.
+const (
+	V100    = hw.V100
+	TITANXp = hw.TITANXp
+	P100    = hw.P100
+)
+
+// Built-in workload names.
+const (
+	DLRMDefault = models.NameDLRMDefault
+	DLRMMLPerf  = models.NameDLRMMLPerf
+	DLRMDDP     = models.NameDLRMDDP
+	ResNet50    = models.NameResNet50
+	InceptionV3 = models.NameInceptionV3
+	Transformer = models.NameTransformer
+)
+
+// Devices lists the supported device names.
+func Devices() []string { return hw.Names() }
+
+// Workloads lists the built-in workload names.
+func Workloads() []string {
+	return []string{DLRMDefault, DLRMMLPerf, DLRMDDP, ResNet50, InceptionV3, Transformer}
+}
+
+// config holds pipeline construction options.
+type config struct {
+	seed       uint64
+	gridSearch bool
+	calib      perfmodel.CalibOptions
+}
+
+// Option customizes NewPipeline.
+type Option func(*config)
+
+// WithSeed sets the calibration seed (default 2022).
+func WithSeed(seed uint64) Option {
+	return func(c *config) { c.seed = seed }
+}
+
+// WithGridSearch enables the Table II hyperparameter search when training
+// the ML-based kernel models (slower, slightly more accurate).
+func WithGridSearch() Option {
+	return func(c *config) { c.gridSearch = true }
+}
+
+// WithCalibration overrides the full calibration options for advanced
+// use (sweep sizes, ensemble counts, custom grids).
+func WithCalibration(opts perfmodel.CalibOptions) Option {
+	return func(c *config) { c.calib = opts }
+}
+
+// Pipeline owns the calibrated kernel performance models for one device —
+// the reusable "assets" of the paper's prediction track.
+type Pipeline struct {
+	platform hw.Platform
+	cal      *perfmodel.Calibration
+}
+
+// NewPipeline calibrates kernel performance models for the named device
+// by sweeping microbenchmarks on the simulated hardware and fitting the
+// paper's heuristic and ML-based models.
+func NewPipeline(device string, opts ...Option) (*Pipeline, error) {
+	p, err := hw.ByName(device)
+	if err != nil {
+		return nil, err
+	}
+	cfg := config{seed: 2022}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	calOpts := cfg.calib
+	if calOpts.Seed == 0 {
+		calOpts.Seed = cfg.seed
+	}
+	calOpts.UseGridSearch = calOpts.UseGridSearch || cfg.gridSearch
+	calOpts.IncludeCNN = true
+	return &Pipeline{platform: p, cal: perfmodel.Calibrate(p.GPU, calOpts)}, nil
+}
+
+// Device returns the pipeline's device name.
+func (p *Pipeline) Device() string { return p.platform.GPU.Name }
+
+// KernelModelErrors returns the held-out Table IV evaluation of every
+// calibrated kernel model: row name -> (GMAE, mean, std).
+func (p *Pipeline) KernelModelErrors() map[string][3]float64 {
+	out := map[string][3]float64{}
+	for _, e := range p.cal.Evals {
+		out[e.Row] = [3]float64{e.Summary.GMAE, e.Summary.Mean, e.Summary.Std}
+	}
+	return out
+}
+
+// Workload wraps a model execution graph.
+type Workload struct {
+	model *models.Model
+}
+
+// NewModel builds a named workload at the given batch size.
+func NewModel(name string, batch int64) (*Workload, error) {
+	m, err := models.Build(name, batch)
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{model: m}, nil
+}
+
+// DLRMConfig mirrors the Table III configuration surface for custom DLRM
+// instances.
+type DLRMConfig struct {
+	Batch          int64
+	BottomMLP      []int64 // BottomMLP[0] is the dense-feature width
+	TopMLP         []int64 // must end in 1
+	TableRows      []int64
+	EmbeddingDim   int64
+	LookupsPerItem int64
+	Loss           string // "mse" or "bce"
+	FuseEmbedding  bool
+}
+
+// NewDLRM builds a custom DLRM workload.
+func NewDLRM(cfg DLRMConfig) (*Workload, error) {
+	m, err := models.BuildDLRM(models.DLRMConfig{
+		Name:           "DLRM_custom",
+		Batch:          cfg.Batch,
+		BotMLP:         cfg.BottomMLP,
+		TopMLP:         cfg.TopMLP,
+		EmbRows:        cfg.TableRows,
+		EmbDim:         cfg.EmbeddingDim,
+		Lookups:        cfg.LookupsPerItem,
+		Loss:           cfg.Loss,
+		FusedEmbedding: cfg.FuseEmbedding,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{model: m}, nil
+}
+
+// Name returns the workload name.
+func (w *Workload) Name() string { return w.model.Name }
+
+// BatchSize returns the current batch size.
+func (w *Workload) BatchSize() int64 { return w.model.Graph.BatchSize() }
+
+// Ops returns the operator count of one training iteration.
+func (w *Workload) Ops() int { return len(w.model.Graph.Nodes) }
+
+// Kernels returns the kernel-launch count of one training iteration.
+func (w *Workload) Kernels() int { return w.model.Graph.TotalKernels() }
+
+// Clone deep-copies the workload so transforms don't alias.
+func (w *Workload) Clone() *Workload { return &Workload{model: w.model.Clone()} }
+
+// ResizeBatch re-propagates the graph for a new batch size — the
+// "change batch size and re-predict" what-if, no re-capture needed.
+func (w *Workload) ResizeBatch(b int64) error { return w.model.ResizeBatch(b) }
+
+// FuseEmbeddingBags replaces per-table embedding_bag ops (and their
+// concat, and the per-table backward ops) with batched lookups — the
+// Fig. 11 co-design transform. It is a no-op error if the workload has no
+// unfused embedding ops.
+func (w *Workload) FuseEmbeddingBags() error {
+	ids := models.EmbeddingBagNodes(w.model)
+	if ids == nil {
+		return fmt.Errorf("dlrmperf: workload has no unfused embedding_bag ops")
+	}
+	var rows []int64
+	var l, d int64
+	var skew float64
+	for _, n := range w.model.Graph.Nodes {
+		if bag, ok := n.Op.(ops.EmbeddingBag); ok && !bag.Backward {
+			rows = append(rows, bag.Rows)
+			l, d, skew = bag.L, bag.D, bag.ZipfSkew
+		}
+	}
+	fwd := fusedLookup(rows, l, d, skew, false)
+	if _, err := w.model.Graph.ReplaceNodes(ids, fwd); err != nil {
+		return err
+	}
+	var bwdIDs []graph.NodeID
+	for _, n := range w.model.Graph.Nodes {
+		if n.Op.Name() == "EmbeddingBagBackward0" {
+			bwdIDs = append(bwdIDs, n.ID)
+		}
+	}
+	if len(bwdIDs) > 0 {
+		if _, err := w.model.Graph.ReplaceNodes(bwdIDs, fusedLookup(rows, l, d, skew, true)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ExportGraph serializes the execution graph (ops, kernels, data
+// dependencies) as JSON — the observer artifact of the paper's pipeline.
+func (w *Workload) ExportGraph() ([]byte, error) {
+	return w.model.Graph.MarshalJSON()
+}
+
+// Measurement is what a (simulated) hardware run reports.
+type Measurement struct {
+	// IterTimeUs is the measured per-batch training time in µs.
+	IterTimeUs float64
+	// ActiveTimeUs is the measured GPU active time per batch in µs.
+	ActiveTimeUs float64
+	// Utilization is ActiveTimeUs / IterTimeUs.
+	Utilization float64
+}
+
+// Measure runs the workload on the pipeline's simulated device (5 warmup
+// + 30 measured iterations) and reports the measured metrics.
+func (p *Pipeline) Measure(w *Workload, seed uint64) Measurement {
+	r := sim.Run(w.model.Graph, sim.Config{
+		Platform: p.platform, Seed: seed, Warmup: 5, Iters: 30, Workload: w.model.Name,
+	})
+	return Measurement{
+		IterTimeUs:   r.MeanIterTime,
+		ActiveTimeUs: r.MeanActiveTime,
+		Utilization:  r.Trace.Utilization(),
+	}
+}
+
+// OverheadDB wraps the per-op host-overhead statistics extracted from
+// profiled traces.
+type OverheadDB struct {
+	db *overhead.DB
+}
+
+// CollectOverheads runs the workload with profiling enabled and extracts
+// the T1..T5 overhead statistics (IQR-trimmed means), the second asset of
+// the prediction track.
+func (p *Pipeline) CollectOverheads(w *Workload, seed uint64) (*OverheadDB, error) {
+	r := sim.Run(w.model.Graph, sim.Config{
+		Platform: p.platform, Seed: seed, Warmup: 5, Iters: 30,
+		Profile: true, Workload: w.model.Name,
+	})
+	return &OverheadDB{db: overhead.FromTrace(r.Trace)}, nil
+}
+
+// SharedOverheads pools the overhead samples of several workloads — the
+// shared database the paper proposes for large-scale prediction.
+func (p *Pipeline) SharedOverheads(ws []*Workload, seed uint64) (*OverheadDB, error) {
+	c := overhead.NewCollector()
+	for i, w := range ws {
+		r := sim.Run(w.model.Graph, sim.Config{
+			Platform: p.platform, Seed: seed + uint64(i)*13, Warmup: 5, Iters: 30,
+			Profile: true, Workload: w.model.Name,
+		})
+		c.Add(r.Trace)
+	}
+	return &OverheadDB{db: c.Finish()}, nil
+}
+
+// JSON serializes the overhead database.
+func (o *OverheadDB) JSON() ([]byte, error) { return o.db.Marshal() }
+
+// LoadOverheads parses a previously serialized overhead database.
+func LoadOverheads(data []byte) (*OverheadDB, error) {
+	db, err := overhead.Load(data)
+	if err != nil {
+		return nil, err
+	}
+	return &OverheadDB{db: db}, nil
+}
+
+// Prediction is the output of the E2E performance model.
+type Prediction struct {
+	// E2EUs is Algorithm 1's per-batch training time prediction in µs.
+	E2EUs float64
+	// ActiveUs is the predicted GPU active time in µs.
+	ActiveUs float64
+	// CPUUs is the predicted host critical-path time in µs.
+	CPUUs float64
+}
+
+// Predict runs the critical-path E2E performance model (Algorithm 1) over
+// the workload's execution graph without running the workload.
+func (p *Pipeline) Predict(w *Workload, db *OverheadDB) (Prediction, error) {
+	pr, err := predict.New(p.cal.Registry, db.db).Predict(w.model.Graph)
+	if err != nil {
+		return Prediction{}, err
+	}
+	return Prediction{E2EUs: pr.E2E, ActiveUs: pr.Active, CPUUs: pr.CPUTime}, nil
+}
+
+// KernelOnly returns the sum-of-kernel-times baseline prediction in µs.
+func (p *Pipeline) KernelOnly(w *Workload) (float64, error) {
+	return predict.New(p.cal.Registry, &overhead.DB{}).KernelOnly(w.model.Graph)
+}
+
+// PredictKernelUs predicts one embedding-lookup kernel's time in µs — the
+// primitive behind sharding load-balance studies. rows/lookups/dim follow
+// the paper's (E, L, D) parameterization.
+func (p *Pipeline) PredictKernelUs(batch, rows, lookups, dim int64) (float64, error) {
+	return p.cal.Registry.Predict(embeddingKernel(batch, rows, lookups, dim))
+}
+
+// SaveModels serializes the pipeline's calibrated kernel models. Together
+// with an overhead database this is the complete, portable asset set for
+// large-scale prediction: calibrate once per device, predict anywhere.
+func (p *Pipeline) SaveModels() ([]byte, error) {
+	return perfmodel.SaveRegistry(p.cal.Registry)
+}
+
+// LoadPipeline restores a pipeline from models serialized by SaveModels,
+// skipping calibration entirely.
+func LoadPipeline(device string, modelData []byte) (*Pipeline, error) {
+	plat, err := hw.ByName(device)
+	if err != nil {
+		return nil, err
+	}
+	reg, err := perfmodel.LoadRegistry(modelData)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{platform: plat, cal: &perfmodel.Calibration{Registry: reg}}, nil
+}
+
+// MemoryEstimate re-exports the training memory footprint breakdown.
+type MemoryEstimate = predict.MemoryEstimate
+
+// EstimateMemory sizes the workload's training memory footprint for the
+// given optimizer ("sgd", "momentum", or "adam") — the paper's
+// batch-size-vs-memory-constraint what-if.
+func (w *Workload) EstimateMemory(optimizer string) MemoryEstimate {
+	return predict.EstimateMemory(w.model.Graph, w.model.Params, optimizer)
+}
+
+// MultiGPUPrediction re-exports the hybrid-parallel prediction result.
+type MultiGPUPrediction = predict.MultiGPUPrediction
+
+// PredictMultiGPU predicts hybrid-parallel DLRM training across n
+// identical devices connected by NVLink-class links (the paper's §VI
+// future-work extension): per-device Algorithm 1 plus ring all-reduce of
+// the dense gradients and all-to-all embedding exchanges. The workload's
+// graph must be built at the per-device batch size.
+func (p *Pipeline) PredictMultiGPU(w *Workload, db *OverheadDB, n int) (MultiGPUPrediction, error) {
+	embActBytes := int64(0)
+	for _, node := range w.model.Graph.Nodes {
+		for _, k := range w.model.Graph.NodeKernels(node) {
+			if e, ok := k.(kernels.Embedding); ok && !e.Backward {
+				embActBytes += e.B * e.T * e.D * 4
+			}
+		}
+	}
+	pred := predict.New(p.cal.Registry, db.db)
+	return pred.PredictDataParallel(w.model.Graph, n, w.model.Params, embActBytes, predict.NVLinkCommModel())
+}

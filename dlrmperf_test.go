@@ -1,0 +1,351 @@
+package dlrmperf
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"dlrmperf/internal/kernels"
+	"dlrmperf/internal/microbench"
+	"dlrmperf/internal/mlp"
+	"dlrmperf/internal/perfmodel"
+)
+
+var (
+	pipeOnce sync.Once
+	pipeV100 *Pipeline
+	pipeErr  error
+)
+
+// pipeline builds a fast shared V100 pipeline for the facade tests.
+func pipeline(t *testing.T) *Pipeline {
+	t.Helper()
+	pipeOnce.Do(func() {
+		sizes := map[kernels.Kind]int{}
+		for k, n := range microbench.DefaultSweepSizes() {
+			sizes[k] = n / 4
+			// The tril surface needs denser sampling after the backward
+			// scatter penalty steepened it; the kernels are cheap.
+			if k == kernels.KindTrilFwd || k == kernels.KindTrilBwd {
+				sizes[k] = n
+			}
+		}
+		pipeV100, pipeErr = NewPipeline(V100, WithSeed(5), WithCalibration(perfmodel.CalibOptions{
+			Seed: 5, SweepSizes: sizes, Ensemble: 2,
+			MLPConfig: mlp.Config{HiddenLayers: 2, Width: 48, Optimizer: mlp.Adam, LR: 3e-3, Epochs: 45, BatchSize: 64},
+		}))
+	})
+	if pipeErr != nil {
+		t.Fatal(pipeErr)
+	}
+	return pipeV100
+}
+
+func TestNewPipelineUnknownDevice(t *testing.T) {
+	if _, err := NewPipeline("A100"); err == nil {
+		t.Fatal("unknown device accepted")
+	}
+}
+
+func TestDevicesAndWorkloads(t *testing.T) {
+	if len(Devices()) != 3 {
+		t.Errorf("Devices = %v", Devices())
+	}
+	if len(Workloads()) != 6 {
+		t.Errorf("Workloads = %v", Workloads())
+	}
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	pipe := pipeline(t)
+	w, err := NewModel(DLRMDefault, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.BatchSize() != 2048 || w.Ops() == 0 || w.Kernels() == 0 {
+		t.Fatalf("workload identity: B=%d ops=%d kernels=%d", w.BatchSize(), w.Ops(), w.Kernels())
+	}
+	meas := pipe.Measure(w, 1)
+	if meas.IterTimeUs <= 0 || meas.Utilization <= 0 || meas.Utilization > 1 {
+		t.Fatalf("measurement: %+v", meas)
+	}
+	db, err := pipe.CollectOverheads(w, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := pipe.Predict(w, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := math.Abs(pred.E2EUs-meas.IterTimeUs) / meas.IterTimeUs; e > 0.25 {
+		t.Errorf("E2E prediction error %.1f%%", 100*e)
+	}
+	ko, err := pipe.KernelOnly(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ko >= pred.E2EUs {
+		t.Error("kernel-only must be below the full E2E prediction")
+	}
+}
+
+func TestCustomDLRM(t *testing.T) {
+	w, err := NewDLRM(DLRMConfig{
+		Batch:          256,
+		BottomMLP:      []int64{256, 128, 32},
+		TopMLP:         []int64{256, 1},
+		TableRows:      []int64{10000, 10000, 50000},
+		EmbeddingDim:   32,
+		LookupsPerItem: 4,
+		Loss:           "mse",
+		FuseEmbedding:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name() != "DLRM_custom" {
+		t.Errorf("name = %s", w.Name())
+	}
+	// Invalid config propagates the validation error.
+	if _, err := NewDLRM(DLRMConfig{Batch: 0}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestResizeWhatIf(t *testing.T) {
+	pipe := pipeline(t)
+	w, err := NewModel(DLRMDDP, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := pipe.CollectOverheads(w, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := pipe.Predict(w, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.ResizeBatch(4096); err != nil {
+		t.Fatal(err)
+	}
+	big, err := pipe.Predict(w, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.E2EUs <= small.E2EUs {
+		t.Errorf("8x batch should predict slower: %v <= %v", big.E2EUs, small.E2EUs)
+	}
+}
+
+func TestFuseEmbeddingBagsWhatIf(t *testing.T) {
+	pipe := pipeline(t)
+	w, err := NewDLRM(DLRMConfig{
+		Batch:          512,
+		BottomMLP:      []int64{512, 512, 64},
+		TopMLP:         []int64{1024, 1024, 1024, 1},
+		TableRows:      []int64{1e6, 1e6, 1e6, 1e6, 1e6, 1e6, 1e6, 1e6},
+		EmbeddingDim:   64,
+		LookupsPerItem: 10,
+		Loss:           "mse",
+		FuseEmbedding:  false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := pipe.CollectOverheads(w, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := pipe.Predict(w, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused := w.Clone()
+	if err := fused.FuseEmbeddingBags(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := pipe.Predict(fused, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.E2EUs >= before.E2EUs {
+		t.Errorf("fusion predicted no gain: %v >= %v", after.E2EUs, before.E2EUs)
+	}
+	// The original is untouched; fusing an already-fused model errors.
+	if err := fused.FuseEmbeddingBags(); err == nil {
+		t.Error("double fusion should error")
+	}
+	if w.Ops() <= fused.Ops() {
+		t.Error("fusion should reduce op count")
+	}
+}
+
+func TestOverheadDBRoundTrip(t *testing.T) {
+	pipe := pipeline(t)
+	w, err := NewModel(DLRMDefault, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := pipe.CollectOverheads(w, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := db.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadOverheads(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := pipe.Predict(w, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pipe.Predict(w, loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.E2EUs != b.E2EUs {
+		t.Errorf("serialized DB changed prediction: %v vs %v", a.E2EUs, b.E2EUs)
+	}
+}
+
+func TestSharedOverheads(t *testing.T) {
+	pipe := pipeline(t)
+	var ws []*Workload
+	for _, name := range []string{DLRMDefault, DLRMDDP} {
+		w, err := NewModel(name, 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws = append(ws, w)
+	}
+	shared, err := pipe.SharedOverheads(ws, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := pipe.Predict(ws[0], shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.E2EUs <= 0 {
+		t.Error("shared-overhead prediction not positive")
+	}
+}
+
+func TestExportGraph(t *testing.T) {
+	w, err := NewModel(DLRMMLPerf, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := w.ExportGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 1000 {
+		t.Errorf("export suspiciously small: %d bytes", len(data))
+	}
+}
+
+func TestKernelModelErrorsExposed(t *testing.T) {
+	pipe := pipeline(t)
+	errs := pipe.KernelModelErrors()
+	if _, ok := errs["GEMM"]; !ok {
+		t.Fatal("missing GEMM row")
+	}
+	if errs["GEMM"][0] <= 0 || errs["GEMM"][0] > 0.2 {
+		t.Errorf("GEMM GMAE = %v", errs["GEMM"][0])
+	}
+	if pipe.Device() != V100 {
+		t.Errorf("device = %s", pipe.Device())
+	}
+}
+
+func TestPredictKernelUs(t *testing.T) {
+	pipe := pipeline(t)
+	small, err := pipe.PredictKernelUs(2048, 10_000, 4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := pipe.PredictKernelUs(2048, 10_000_000, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small <= 0 || big <= small {
+		t.Errorf("kernel predictions implausible: small=%v big=%v", small, big)
+	}
+}
+
+func TestSaveLoadModels(t *testing.T) {
+	pipe := pipeline(t)
+	data, err := pipe.SaveModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadPipeline(V100, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewModel(DLRMDefault, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := pipe.CollectOverheads(w, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := pipe.Predict(w, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := restored.Predict(w, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.E2EUs != b.E2EUs {
+		t.Errorf("restored pipeline predicts differently: %v vs %v", a.E2EUs, b.E2EUs)
+	}
+}
+
+func TestEstimateMemoryFacade(t *testing.T) {
+	w, err := NewModel(DLRMMLPerf, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := w.EstimateMemory("sgd")
+	// The 26 Criteo tables at D=128 hold ~62M rows -> ~32 GB of weights.
+	if est.EmbeddingTables < 20<<30 {
+		t.Errorf("MLPerf embedding bytes = %d, expected tens of GB", est.EmbeddingTables)
+	}
+	if est.FitsInMemory(16<<30, 0.1) {
+		t.Error("MLPerf at D=128 must not fit a 16 GB device (why the paper shrinks D to 32)")
+	}
+}
+
+func TestPredictMultiGPUFacade(t *testing.T) {
+	pipe := pipeline(t)
+	w, err := NewModel(DLRMDefault, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := pipe.CollectOverheads(w, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := pipe.PredictMultiGPU(w, db, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := pipe.PredictMultiGPU(w, db, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.E2E <= single.E2E {
+		t.Error("8-GPU step should pay communication")
+	}
+	if multi.ScalingEfficiency >= 1 {
+		t.Error("scaling efficiency must be below 1 with communication")
+	}
+}

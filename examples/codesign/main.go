@@ -1,0 +1,126 @@
+// Codesign reproduces the Section V-A model-system co-design workflows on
+// the execution graph, without re-running any workload:
+//
+//  1. Op fusion (Fig. 11): a DLRM variant with one embedding_bag op per
+//     table is transformed into the batched lookup form, and the
+//     performance model forecasts the speedup.
+//  2. Batch-size what-if: the captured graph is resized across batch
+//     sizes and re-predicted, mapping the throughput curve.
+//  3. Iterative model tuning: the top MLP is widened and the predictor
+//     prices the change.
+//
+// Run with:
+//
+//	go run ./examples/codesign
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dlrmperf"
+)
+
+func main() {
+	pipe, err := dlrmperf.NewPipeline(dlrmperf.V100)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- 1. Embedding-bag fusion (Fig. 11) ---------------------------
+	unfused, err := dlrmperf.NewDLRM(dlrmperf.DLRMConfig{
+		Batch:          1024,
+		BottomMLP:      []int64{512, 512, 64},
+		TopMLP:         []int64{1024, 1024, 1024, 1},
+		TableRows:      []int64{1e6, 1e6, 1e6, 1e6, 1e6, 1e6, 1e6, 1e6},
+		EmbeddingDim:   64,
+		LookupsPerItem: 32,
+		Loss:           "mse",
+		FuseEmbedding:  false, // one embedding_bag op per table
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := pipe.CollectOverheads(unfused, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	before, err := pipe.Predict(unfused, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fused := unfused.Clone()
+	if err := fused.FuseEmbeddingBags(); err != nil {
+		log.Fatal(err)
+	}
+	after, err := pipe.Predict(fused, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("op fusion what-if (per-table embedding_bag -> batched lookup):")
+	fmt.Printf("  unfused: %3d ops, predicted %8.0f us/batch\n", unfused.Ops(), before.E2EUs)
+	fmt.Printf("  fused:   %3d ops, predicted %8.0f us/batch\n", fused.Ops(), after.E2EUs)
+	fmt.Printf("  predicted speedup: %.2fx — without running the fused model\n\n",
+		before.E2EUs/after.E2EUs)
+
+	// --- 2. Batch-size sweep on the captured graph --------------------
+	w, err := dlrmperf.NewModel(dlrmperf.DLRMDDP, 512)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wdb, err := pipe.CollectOverheads(w, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("batch-size what-if for DLRM_DDP (graph resized, re-predicted):")
+	fmt.Println("  batch   us/batch   samples/sec")
+	for _, b := range []int64{256, 512, 1024, 2048, 4096, 8192} {
+		if err := w.ResizeBatch(b); err != nil {
+			log.Fatal(err)
+		}
+		pred, err := pipe.Predict(w, wdb)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %5d  %9.0f   %11.0f\n", b, pred.E2EUs, float64(b)/pred.E2EUs*1e6)
+	}
+
+	// --- 3. Layer resize: widen the top MLP ---------------------------
+	fmt.Println("\niterative tuning: widening DLRM_DDP's top MLP 512 -> 1024:")
+	wide, err := dlrmperf.NewDLRM(dlrmperf.DLRMConfig{
+		Batch:          2048,
+		BottomMLP:      []int64{128, 128, 128, 128},
+		TopMLP:         []int64{1024, 1024, 1024, 256, 1},
+		TableRows:      repeat(80_000, 8),
+		EmbeddingDim:   128,
+		LookupsPerItem: 80,
+		Loss:           "mse",
+		FuseEmbedding:  true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := w.ResizeBatch(2048); err != nil {
+		log.Fatal(err)
+	}
+	base, err := pipe.Predict(w, wdb)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := pipe.Predict(wide, wdb)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  baseline: %8.0f us/batch\n", base.E2EUs)
+	fmt.Printf("  widened:  %8.0f us/batch (%+.1f%%)\n",
+		pred.E2EUs, 100*(pred.E2EUs-base.E2EUs)/base.E2EUs)
+}
+
+func repeat(v int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}

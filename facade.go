@@ -1,0 +1,16 @@
+package dlrmperf
+
+import (
+	"dlrmperf/internal/kernels"
+	"dlrmperf/internal/ops"
+)
+
+// fusedLookup builds the batched lookup op used by FuseEmbeddingBags.
+func fusedLookup(rows []int64, l, d int64, skew float64, backward bool) ops.EmbeddingLookup {
+	return ops.EmbeddingLookup{Rows: rows, L: l, D: d, ZipfSkew: skew, Backward: backward}
+}
+
+// embeddingKernel builds a single-table lookup kernel for PredictKernelUs.
+func embeddingKernel(batch, rows, lookups, dim int64) kernels.Kernel {
+	return kernels.Embedding{B: batch, E: rows, T: 1, L: lookups, D: dim}
+}

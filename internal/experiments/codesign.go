@@ -1,0 +1,343 @@
+package experiments
+
+import (
+	"sort"
+
+	"dlrmperf/internal/export"
+	"dlrmperf/internal/graph"
+	"dlrmperf/internal/hw"
+	"dlrmperf/internal/kernels"
+	"dlrmperf/internal/models"
+	"dlrmperf/internal/ops"
+	"dlrmperf/internal/overhead"
+	"dlrmperf/internal/sim"
+	"dlrmperf/internal/stats"
+)
+
+// --- Fig. 11 / Section V-A(b): op fusion ---------------------------------------
+
+// Fig11Row evaluates the embedding-bag fusion what-if at one batch size:
+// the predictor forecasts the speedup of replacing per-table
+// embedding_bag ops with one batched lookup, without running the fused
+// model; the simulator then validates the forecast.
+type Fig11Row struct {
+	Batch int64
+	// Predicted per-batch times, µs.
+	PredUnfused, PredFused float64
+	// Measured per-batch times, µs.
+	MeasUnfused, MeasFused float64
+	// PredictedSpeedup and MeasuredSpeedup are unfused/fused ratios.
+	PredictedSpeedup, MeasuredSpeedup float64
+}
+
+// Fig11 runs the op-fusion co-design study on V100 with DLRM_default's
+// embedding configuration.
+func (s *Suite) Fig11() ([]Fig11Row, error) {
+	p, err := hw.ByName(hw.V100)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig11Row
+	for _, b := range s.opts.DLRMBatches {
+		cfg := models.DLRMDefaultConfig(b)
+		cfg.FusedEmbedding = false
+		unfused, err := models.BuildDLRM(cfg)
+		if err != nil {
+			return nil, err
+		}
+		// Measure + extract overheads from the unfused model only: the
+		// whole point is that the fused variant never runs.
+		meas := sim.Run(unfused.Graph, sim.Config{
+			Platform: p, Seed: s.opts.Seed + 301 + uint64(b), Warmup: 5,
+			Iters: s.opts.Iters, Workload: unfused.Name,
+		})
+		prof := sim.Run(unfused.Graph, sim.Config{
+			Platform: p, Seed: s.opts.Seed + 303 + uint64(b), Warmup: 5,
+			Iters: s.opts.Iters, Profile: true, Workload: unfused.Name,
+		})
+		db := overhead.FromTrace(prof.Trace)
+		pred, err := s.Predictor(hw.V100, db)
+		if err != nil {
+			return nil, err
+		}
+		prUnfused, err := pred.Predict(unfused.Graph)
+		if err != nil {
+			return nil, err
+		}
+
+		// Transform the execution graph: all embedding_bag ops + their
+		// concat collapse into one batched lookup (the forward pass; the
+		// backward bags fuse symmetrically).
+		fusedModel := unfused.Clone()
+		ids := models.EmbeddingBagNodes(fusedModel)
+		fusedFwd := ops.EmbeddingLookup{Rows: cfg.EmbRows, L: cfg.Lookups, D: cfg.EmbDim, ZipfSkew: cfg.ZipfSkew}
+		if _, err := fusedModel.Graph.ReplaceNodes(ids, fusedFwd); err != nil {
+			return nil, err
+		}
+		var bwdIDs []graph.NodeID
+		for _, n := range fusedModel.Graph.Nodes {
+			if n.Op.Name() == "EmbeddingBagBackward0" {
+				bwdIDs = append(bwdIDs, n.ID)
+			}
+		}
+		if len(bwdIDs) > 0 {
+			fusedBwd := fusedFwd
+			fusedBwd.Backward = true
+			if _, err := fusedModel.Graph.ReplaceNodes(bwdIDs, fusedBwd); err != nil {
+				return nil, err
+			}
+		}
+		prFused, err := pred.Predict(fusedModel.Graph)
+		if err != nil {
+			return nil, err
+		}
+
+		// Validation run of the fused graph.
+		measFused := sim.Run(fusedModel.Graph, sim.Config{
+			Platform: p, Seed: s.opts.Seed + 307 + uint64(b), Warmup: 5,
+			Iters: s.opts.Iters, Workload: unfused.Name,
+		})
+
+		rows = append(rows, Fig11Row{
+			Batch:            b,
+			PredUnfused:      prUnfused.E2E,
+			PredFused:        prFused.E2E,
+			MeasUnfused:      meas.MeanIterTime,
+			MeasFused:        measFused.MeanIterTime,
+			PredictedSpeedup: prUnfused.E2E / prFused.E2E,
+			MeasuredSpeedup:  meas.MeanIterTime / measFused.MeanIterTime,
+		})
+	}
+	return rows, nil
+}
+
+// RenderFig11 renders the fusion study.
+func RenderFig11(rows []Fig11Row) string {
+	t := export.NewTable("Fig 11: embedding-bag fusion what-if (DLRM_default, V100)",
+		"batch", "pred_unfused", "pred_fused", "pred_speedup",
+		"meas_unfused", "meas_fused", "meas_speedup")
+	for _, r := range rows {
+		t.AddRow(r.Batch, export.Ms(r.PredUnfused), export.Ms(r.PredFused),
+			ratio(r.PredictedSpeedup), export.Ms(r.MeasUnfused), export.Ms(r.MeasFused),
+			ratio(r.MeasuredSpeedup))
+	}
+	return t.Render()
+}
+
+func ratio(v float64) string { return export.PctAbs(v-1) + " faster" }
+
+// --- Section V-A(c): embedding-table sharding load balance ---------------------
+
+// ShardingScheme is one table-to-device assignment evaluated by the
+// predictor.
+type ShardingScheme struct {
+	Name string
+	// PerDevice is the predicted embedding time per device, µs.
+	PerDevice []float64
+	// Makespan is the max per-device time (the step's critical device).
+	Makespan float64
+}
+
+// Sharding evaluates table-sharding schemes for a heterogeneous 16-table
+// embedding layer split across nDevices V100s, using only the kernel
+// performance model — no workload ever runs.
+func (s *Suite) Sharding(nDevices int) ([]ShardingScheme, error) {
+	cal, err := s.Calibration(hw.V100)
+	if err != nil {
+		return nil, err
+	}
+	elModel := cal.Registry.Model(kernels.KindEmbeddingFwd)
+
+	// A skewed table population: a few huge, hot tables (large pooling
+	// factors), many small, cold ones — the shape of production models
+	// where naive sharding loses.
+	type table struct {
+		rows    int64
+		lookups int64
+	}
+	tables := []table{
+		{14_000_000, 64}, {11_000_000, 32}, {8_000_000, 32}, {4_000_000, 16},
+		{1_000_000, 16}, {1_000_000, 10}, {500_000, 10}, {500_000, 8},
+		{200_000, 8}, {200_000, 4}, {100_000, 4}, {100_000, 2},
+		{50_000, 2}, {50_000, 1}, {20_000, 1}, {20_000, 1},
+	}
+	const batch, dim = 2048, 64
+
+	cost := func(t table) float64 {
+		return elModel.Predict(kernels.Embedding{
+			B: batch, E: t.rows, T: 1, L: t.lookups, D: dim,
+		})
+	}
+
+	assignRoundRobin := func() [][]table {
+		out := make([][]table, nDevices)
+		for i, t := range tables {
+			out[i%nDevices] = append(out[i%nDevices], t)
+		}
+		return out
+	}
+	assignBySize := func() [][]table {
+		// Contiguous chunks of the size-sorted list: the naive scheme
+		// that overloads whichever device gets the big tables.
+		sorted := append([]table(nil), tables...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].rows > sorted[j].rows })
+		out := make([][]table, nDevices)
+		per := (len(sorted) + nDevices - 1) / nDevices
+		for i, t := range sorted {
+			out[i/per] = append(out[i/per], t)
+		}
+		return out
+	}
+	assignGreedyLPT := func() [][]table {
+		// Longest-processing-time-first onto the least-loaded device,
+		// using *predicted* per-table cost — the paper's co-design use.
+		sorted := append([]table(nil), tables...)
+		sort.Slice(sorted, func(i, j int) bool { return cost(sorted[i]) > cost(sorted[j]) })
+		out := make([][]table, nDevices)
+		load := make([]float64, nDevices)
+		for _, t := range sorted {
+			best := 0
+			for d := 1; d < nDevices; d++ {
+				if load[d] < load[best] {
+					best = d
+				}
+			}
+			out[best] = append(out[best], t)
+			load[best] += cost(t)
+		}
+		return out
+	}
+
+	schemes := []struct {
+		name   string
+		assign func() [][]table
+	}{
+		{"chunked-by-size", assignBySize},
+		{"round-robin", assignRoundRobin},
+		{"greedy-predicted-LPT", assignGreedyLPT},
+	}
+	var out []ShardingScheme
+	for _, sc := range schemes {
+		assignment := sc.assign()
+		res := ShardingScheme{Name: sc.name}
+		for _, devTables := range assignment {
+			t := 0.0
+			for _, tb := range devTables {
+				t += cost(tb)
+			}
+			res.PerDevice = append(res.PerDevice, t)
+			if t > res.Makespan {
+				res.Makespan = t
+			}
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// RenderSharding renders the sharding study.
+func RenderSharding(schemes []ShardingScheme) string {
+	t := export.NewTable("Sharding: predicted embedding-lookup load balance (V100)",
+		"scheme", "makespan", "per_device")
+	for _, sc := range schemes {
+		per := ""
+		for i, v := range sc.PerDevice {
+			if i > 0 {
+				per += " / "
+			}
+			per += export.Us(v)
+		}
+		t.AddRow(sc.Name, export.Us(sc.Makespan), per)
+	}
+	return t.Render()
+}
+
+// --- Ablations -------------------------------------------------------------------
+
+// AblationRow compares E2E error under a predictor variant.
+type AblationRow struct {
+	Variant string
+	Model   string
+	Batch   int64
+	E2EErr  float64
+}
+
+// AblationOverheadPolicy quantifies two design choices of the prediction
+// pipeline on V100: (a) IQR-trimming overhead samples versus using raw
+// means — the paper attributes its systematic E2E underestimation to
+// trimming the long tails; and (b) the 10 µs T4 constant versus measured
+// per-runtime-function means.
+func (s *Suite) AblationOverheadPolicy() ([]AblationRow, error) {
+	var rows []AblationRow
+	dev := hw.V100
+	for _, model := range models.DLRMNames() {
+		// Raw (untrimmed) overhead DB.
+		raw := overhead.NewCollector()
+		raw.TrimK = -1
+		trimmed, err := s.OverheadDB(dev, model)
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range s.opts.DLRMBatches {
+			r, err := s.Run(dev, model, b, true)
+			if err != nil {
+				return nil, err
+			}
+			raw.Add(r.Trace)
+		}
+		rawDB := raw.Finish()
+
+		predTrim, err := s.Predictor(dev, trimmed)
+		if err != nil {
+			return nil, err
+		}
+		predRaw, err := s.Predictor(dev, rawDB)
+		if err != nil {
+			return nil, err
+		}
+		predT4, err := s.Predictor(dev, trimmed)
+		if err != nil {
+			return nil, err
+		}
+		predT4.UseMeasuredT4 = true
+
+		for _, b := range s.opts.DLRMBatches {
+			meas, err := s.Run(dev, model, b, false)
+			if err != nil {
+				return nil, err
+			}
+			m, err := s.model(model, b)
+			if err != nil {
+				return nil, err
+			}
+			prTrim, err := predTrim.Predict(m.Graph)
+			if err != nil {
+				return nil, err
+			}
+			prRaw, err := predRaw.Predict(m.Graph)
+			if err != nil {
+				return nil, err
+			}
+			prT4, err := predT4.Predict(m.Graph)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows,
+				AblationRow{"trimmed (paper)", model, b, stats.RelErr(prTrim.E2E, meas.MeanIterTime)},
+				AblationRow{"raw means", model, b, stats.RelErr(prRaw.E2E, meas.MeanIterTime)},
+				AblationRow{"measured T4", model, b, stats.RelErr(prT4.E2E, meas.MeanIterTime)},
+			)
+		}
+	}
+	return rows, nil
+}
+
+// RenderAblation renders the ablation rows.
+func RenderAblation(rows []AblationRow) string {
+	t := export.NewTable("Ablation: overhead trimming and T4 policy (V100, signed E2E error)",
+		"variant", "model", "batch", "e2e_err")
+	for _, r := range rows {
+		t.AddRow(r.Variant, r.Model, r.Batch, export.Pct(r.E2EErr))
+	}
+	return t.Render()
+}

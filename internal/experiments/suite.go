@@ -1,0 +1,240 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (Section IV) plus the co-design case studies of
+// Section V. Each driver returns structured results and can render the
+// paper's artifact as a text table; the root-level benchmarks and
+// cmd/experiments regenerate everything from here.
+//
+// A Suite memoizes the expensive assets — kernel-model calibrations,
+// measured workload runs, overhead databases — so that drivers compose
+// without recomputation and every result is deterministic in the seed.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"dlrmperf/internal/hw"
+	"dlrmperf/internal/models"
+	"dlrmperf/internal/overhead"
+	"dlrmperf/internal/perfmodel"
+	"dlrmperf/internal/predict"
+	"dlrmperf/internal/sim"
+)
+
+// Options scopes a Suite.
+type Options struct {
+	// Seed drives all randomness.
+	Seed uint64
+	// Devices are the evaluation platforms (default: all three).
+	Devices []string
+	// DLRMBatches are the DLRM batch sizes (default 512..4096).
+	DLRMBatches []int64
+	// CNNBatches are the CNN batch sizes of Fig. 10 (default 16/32/64).
+	CNNBatches []int64
+	// Iters is the measured-run iteration count (default 30).
+	Iters int
+	// Calib overrides calibration options (Seed is always taken from
+	// Options.Seed).
+	Calib perfmodel.CalibOptions
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 2022
+	}
+	if len(o.Devices) == 0 {
+		o.Devices = hw.Names()
+	}
+	if len(o.DLRMBatches) == 0 {
+		o.DLRMBatches = []int64{512, 1024, 2048, 4096}
+	}
+	if len(o.CNNBatches) == 0 {
+		o.CNNBatches = []int64{16, 32, 64}
+	}
+	if o.Iters == 0 {
+		o.Iters = 30
+	}
+	return o
+}
+
+// Suite memoizes experiment assets.
+type Suite struct {
+	opts Options
+
+	mu     sync.Mutex
+	cals   map[string]*perfmodel.Calibration // device -> calibration (with CNN)
+	runs   map[string]*sim.Result            // device/model/batch/profiled -> run
+	dbs    map[string]*overhead.DB           // device/model -> individual overhead DB
+	shared map[string]*overhead.DB           // device -> shared DB
+	models map[string]*models.Model          // model/batch -> built graph
+}
+
+// NewSuite returns a Suite with the given options.
+func NewSuite(opts Options) *Suite {
+	return &Suite{
+		opts:   opts.withDefaults(),
+		cals:   map[string]*perfmodel.Calibration{},
+		runs:   map[string]*sim.Result{},
+		dbs:    map[string]*overhead.DB{},
+		shared: map[string]*overhead.DB{},
+		models: map[string]*models.Model{},
+	}
+}
+
+// Options returns the resolved options.
+func (s *Suite) Options() Options { return s.opts }
+
+// model returns the memoized built model.
+func (s *Suite) model(name string, batch int64) (*models.Model, error) {
+	key := fmt.Sprintf("%s/%d", name, batch)
+	s.mu.Lock()
+	m, ok := s.models[key]
+	s.mu.Unlock()
+	if ok {
+		return m, nil
+	}
+	m, err := models.Build(name, batch)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.models[key] = m
+	s.mu.Unlock()
+	return m, nil
+}
+
+// Calibration returns the memoized kernel-model calibration for a device
+// (always including the CNN extension so Fig. 10 composes).
+func (s *Suite) Calibration(device string) (*perfmodel.Calibration, error) {
+	s.mu.Lock()
+	c, ok := s.cals[device]
+	s.mu.Unlock()
+	if ok {
+		return c, nil
+	}
+	p, err := hw.ByName(device)
+	if err != nil {
+		return nil, err
+	}
+	opt := s.opts.Calib
+	opt.Seed = s.opts.Seed + devSalt(device)
+	opt.IncludeCNN = true
+	c = perfmodel.Calibrate(p.GPU, opt)
+	s.mu.Lock()
+	s.cals[device] = c
+	s.mu.Unlock()
+	return c, nil
+}
+
+func devSalt(device string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(device); i++ {
+		h = (h ^ uint64(device[i])) * 1099511628211
+	}
+	return h
+}
+
+// Run returns the memoized measured (or profiled) run of model at batch
+// on device.
+func (s *Suite) Run(device, model string, batch int64, profiled bool) (*sim.Result, error) {
+	key := fmt.Sprintf("%s/%s/%d/%v", device, model, batch, profiled)
+	s.mu.Lock()
+	r, ok := s.runs[key]
+	s.mu.Unlock()
+	if ok {
+		return r, nil
+	}
+	p, err := hw.ByName(device)
+	if err != nil {
+		return nil, err
+	}
+	m, err := s.model(model, batch)
+	if err != nil {
+		return nil, err
+	}
+	seed := s.opts.Seed*3 + devSalt(device) + uint64(batch)
+	if profiled {
+		seed += 17
+	}
+	r = sim.Run(m.Graph, sim.Config{
+		Platform: p, Seed: seed, Warmup: 5, Iters: s.opts.Iters,
+		Profile: profiled, Workload: model,
+	})
+	s.mu.Lock()
+	s.runs[key] = r
+	s.mu.Unlock()
+	return r, nil
+}
+
+// batchesFor returns the evaluation batch sizes of a model family.
+func (s *Suite) batchesFor(model string) []int64 {
+	switch model {
+	case models.NameResNet50, models.NameInceptionV3:
+		return s.opts.CNNBatches
+	case models.NameTransformer:
+		return []int64{64, 128, 256}
+	}
+	return s.opts.DLRMBatches
+}
+
+// OverheadDB returns the individual-workload overhead database for one
+// model on one device, pooled over all evaluated batch sizes (the
+// paper's per-workload overhead statistics).
+func (s *Suite) OverheadDB(device, model string) (*overhead.DB, error) {
+	key := device + "/" + model
+	s.mu.Lock()
+	db, ok := s.dbs[key]
+	s.mu.Unlock()
+	if ok {
+		return db, nil
+	}
+	c := overhead.NewCollector()
+	for _, b := range s.batchesFor(model) {
+		r, err := s.Run(device, model, b, true)
+		if err != nil {
+			return nil, err
+		}
+		c.Add(r.Trace)
+	}
+	db = c.Finish()
+	s.mu.Lock()
+	s.dbs[key] = db
+	s.mu.Unlock()
+	return db, nil
+}
+
+// SharedOverheadDB pools overhead samples across all DLRM workloads on a
+// device (the shared_E2E variant of Fig. 9).
+func (s *Suite) SharedOverheadDB(device string) (*overhead.DB, error) {
+	s.mu.Lock()
+	db, ok := s.shared[device]
+	s.mu.Unlock()
+	if ok {
+		return db, nil
+	}
+	c := overhead.NewCollector()
+	for _, model := range models.DLRMNames() {
+		for _, b := range s.opts.DLRMBatches {
+			r, err := s.Run(device, model, b, true)
+			if err != nil {
+				return nil, err
+			}
+			c.Add(r.Trace)
+		}
+	}
+	db = c.Finish()
+	s.mu.Lock()
+	s.shared[device] = db
+	s.mu.Unlock()
+	return db, nil
+}
+
+// Predictor builds the paper's predictor for a device with the given
+// overhead database.
+func (s *Suite) Predictor(device string, db *overhead.DB) (*predict.Predictor, error) {
+	cal, err := s.Calibration(device)
+	if err != nil {
+		return nil, err
+	}
+	return predict.New(cal.Registry, db), nil
+}

@@ -1,0 +1,247 @@
+// Package graph implements the model execution graph: the artifact the
+// paper's PyTorch observer extracts during a training iteration, holding
+// every executed operator, its input/output tensors, and hence the data
+// dependencies between ops. The graph is the input to both the simulator
+// (which "runs" it to produce measured traces) and the end-to-end
+// performance model (Algorithm 1).
+//
+// Because ops derive their kernels from tensor metadata, the graph is
+// mutable in exactly the ways Section V-A needs for model-system
+// co-design: batch resizing, op fusion, reordering, and multi-stream
+// parallelization, all without re-capturing the model.
+package graph
+
+import (
+	"fmt"
+
+	"dlrmperf/internal/kernels"
+	"dlrmperf/internal/ops"
+	"dlrmperf/internal/tensor"
+)
+
+// TensorID identifies a tensor value in the graph.
+type TensorID int
+
+// NodeID identifies an operator node in the graph.
+type NodeID int
+
+// Node is one executed operator.
+type Node struct {
+	ID      NodeID
+	Op      ops.Op
+	Inputs  []TensorID
+	Outputs []TensorID
+	// Stream is the GPU stream the node's kernels are issued to. The
+	// capture default is stream 0; the parallelize transform reassigns
+	// independent branches.
+	Stream int
+}
+
+// Graph is an execution graph. Nodes appear in captured execution order,
+// which is also the host issue order during simulation and prediction.
+type Graph struct {
+	Nodes   []*Node
+	tensors map[TensorID]tensor.Meta
+	// sources are graph inputs (model inputs, labels): tensors not
+	// produced by any node.
+	sources    []TensorID
+	producers  map[TensorID]NodeID
+	nextTensor TensorID
+	nextNode   NodeID
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		tensors:   make(map[TensorID]tensor.Meta),
+		producers: make(map[TensorID]NodeID),
+	}
+}
+
+// Input registers a graph input tensor (e.g. the dense feature batch) and
+// returns its ID.
+func (g *Graph) Input(m tensor.Meta) TensorID {
+	id := g.nextTensor
+	g.nextTensor++
+	g.tensors[id] = m
+	g.sources = append(g.sources, id)
+	return id
+}
+
+// Meta returns the metadata of tensor id.
+func (g *Graph) Meta(id TensorID) tensor.Meta {
+	m, ok := g.tensors[id]
+	if !ok {
+		panic(fmt.Sprintf("graph: unknown tensor %d", id))
+	}
+	return m
+}
+
+// Sources returns the graph input tensor IDs.
+func (g *Graph) Sources() []TensorID { return append([]TensorID(nil), g.sources...) }
+
+// Apply appends a node executing op on the given inputs and returns the
+// IDs of its output tensors.
+func (g *Graph) Apply(op ops.Op, inputs ...TensorID) []TensorID {
+	metas := g.inputMetas(inputs)
+	outMetas := op.Outputs(metas)
+	node := &Node{
+		ID:     g.nextNode,
+		Op:     op,
+		Inputs: append([]TensorID(nil), inputs...),
+	}
+	g.nextNode++
+	for _, m := range outMetas {
+		id := g.nextTensor
+		g.nextTensor++
+		g.tensors[id] = m
+		g.producers[id] = node.ID
+		node.Outputs = append(node.Outputs, id)
+	}
+	g.Nodes = append(g.Nodes, node)
+	return node.Outputs
+}
+
+func (g *Graph) inputMetas(inputs []TensorID) []tensor.Meta {
+	metas := make([]tensor.Meta, len(inputs))
+	for i, id := range inputs {
+		metas[i] = g.Meta(id)
+	}
+	return metas
+}
+
+// NodeKernels returns the kernels node n launches under the current
+// tensor shapes.
+func (g *Graph) NodeKernels(n *Node) []kernels.Kernel {
+	return n.Op.Kernels(g.inputMetas(n.Inputs))
+}
+
+// Producer returns the node producing tensor id, or -1 for graph inputs.
+func (g *Graph) Producer(id TensorID) NodeID {
+	if p, ok := g.producers[id]; ok {
+		return p
+	}
+	return -1
+}
+
+// Node returns the node with the given ID, or nil.
+func (g *Graph) Node(id NodeID) *Node {
+	for _, n := range g.Nodes {
+		if n.ID == id {
+			return n
+		}
+	}
+	return nil
+}
+
+// Deps returns the IDs of the nodes whose outputs node n consumes.
+func (g *Graph) Deps(n *Node) []NodeID {
+	var deps []NodeID
+	seen := map[NodeID]bool{}
+	for _, in := range n.Inputs {
+		if p := g.Producer(in); p >= 0 && !seen[p] {
+			seen[p] = true
+			deps = append(deps, p)
+		}
+	}
+	return deps
+}
+
+// Validate checks structural integrity: every node input is either a
+// graph source or produced by an earlier node, and every node's declared
+// outputs exist.
+func (g *Graph) Validate() error {
+	produced := map[TensorID]bool{}
+	for _, s := range g.sources {
+		produced[s] = true
+	}
+	for i, n := range g.Nodes {
+		for _, in := range n.Inputs {
+			if !produced[in] {
+				return fmt.Errorf("graph: node %d (%s) at position %d consumes tensor %d before it is produced",
+					n.ID, n.Op.Name(), i, in)
+			}
+		}
+		for _, out := range n.Outputs {
+			if _, ok := g.tensors[out]; !ok {
+				return fmt.Errorf("graph: node %d (%s) declares unknown output tensor %d", n.ID, n.Op.Name(), out)
+			}
+			produced[out] = true
+		}
+	}
+	return nil
+}
+
+// Propagate recomputes every tensor's metadata from the sources through
+// the node list, in order. It must be called after mutating source shapes
+// (e.g. ResizeBatch) or editing nodes.
+func (g *Graph) Propagate() error {
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	for _, n := range g.Nodes {
+		outMetas := n.Op.Outputs(g.inputMetas(n.Inputs))
+		if len(outMetas) != len(n.Outputs) {
+			return fmt.Errorf("graph: node %d (%s) output arity changed from %d to %d",
+				n.ID, n.Op.Name(), len(n.Outputs), len(outMetas))
+		}
+		for i, m := range outMetas {
+			g.tensors[n.Outputs[i]] = m
+		}
+	}
+	return nil
+}
+
+// ResizeBatch sets the leading dimension of every graph input to b and
+// re-propagates shapes — the paper's "change batch size and re-predict"
+// what-if, done without re-capturing the model.
+func (g *Graph) ResizeBatch(b int64) error {
+	for _, s := range g.sources {
+		g.tensors[s] = g.tensors[s].WithBatch(b)
+	}
+	return g.Propagate()
+}
+
+// BatchSize returns the leading dimension of the first non-scalar source.
+func (g *Graph) BatchSize() int64 {
+	for _, s := range g.sources {
+		if m := g.tensors[s]; m.Rank() > 0 {
+			return m.Dim(0)
+		}
+	}
+	return 0
+}
+
+// TotalKernels counts the kernels launched by one execution of the graph.
+func (g *Graph) TotalKernels() int {
+	n := 0
+	for _, node := range g.Nodes {
+		n += len(g.NodeKernels(node))
+	}
+	return n
+}
+
+// Clone returns a deep copy of the graph (ops are immutable values and
+// are shared).
+func (g *Graph) Clone() *Graph {
+	c := New()
+	c.nextTensor = g.nextTensor
+	c.nextNode = g.nextNode
+	c.sources = append([]TensorID(nil), g.sources...)
+	for id, m := range g.tensors {
+		c.tensors[id] = m
+	}
+	for id, p := range g.producers {
+		c.producers[id] = p
+	}
+	for _, n := range g.Nodes {
+		c.Nodes = append(c.Nodes, &Node{
+			ID:      n.ID,
+			Op:      n.Op,
+			Inputs:  append([]TensorID(nil), n.Inputs...),
+			Outputs: append([]TensorID(nil), n.Outputs...),
+			Stream:  n.Stream,
+		})
+	}
+	return c
+}

@@ -1,0 +1,283 @@
+package graph
+
+import (
+	"encoding/json"
+	"testing"
+
+	"dlrmperf/internal/kernels"
+	"dlrmperf/internal/ops"
+	"dlrmperf/internal/tensor"
+)
+
+// tinyMLP builds in -> linear(32) -> relu -> linear(8).
+func tinyMLP(b int64) *Graph {
+	g := New()
+	x := g.Input(tensor.New(b, 64))
+	h := g.Apply(ops.Linear{Out: 32}, x)
+	r := g.Apply(ops.ReLU(), h[0])
+	g.Apply(ops.Linear{Out: 8}, r[0])
+	return g
+}
+
+func TestApplyAndMeta(t *testing.T) {
+	g := tinyMLP(16)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Nodes) != 3 {
+		t.Fatalf("nodes = %d, want 3", len(g.Nodes))
+	}
+	last := g.Nodes[2]
+	out := g.Meta(last.Outputs[0])
+	if out.Dim(0) != 16 || out.Dim(1) != 8 {
+		t.Errorf("final output = %v", out)
+	}
+}
+
+func TestNodeKernels(t *testing.T) {
+	g := tinyMLP(16)
+	ks := g.NodeKernels(g.Nodes[0])
+	if len(ks) != 1 {
+		t.Fatalf("linear emitted %d kernels", len(ks))
+	}
+	gm, ok := ks[0].(kernels.GEMM)
+	if !ok {
+		t.Fatalf("linear kernel is %T", ks[0])
+	}
+	if gm.M != 16 || gm.N != 32 || gm.K != 64 {
+		t.Errorf("GEMM dims = %+v", gm)
+	}
+}
+
+func TestResizeBatchPropagates(t *testing.T) {
+	g := tinyMLP(16)
+	if err := g.ResizeBatch(1024); err != nil {
+		t.Fatal(err)
+	}
+	gm := g.NodeKernels(g.Nodes[0])[0].(kernels.GEMM)
+	if gm.M != 1024 {
+		t.Errorf("after resize GEMM M = %d, want 1024", gm.M)
+	}
+	out := g.Meta(g.Nodes[2].Outputs[0])
+	if out.Dim(0) != 1024 {
+		t.Errorf("final output batch = %d", out.Dim(0))
+	}
+	if g.BatchSize() != 1024 {
+		t.Errorf("BatchSize = %d", g.BatchSize())
+	}
+}
+
+func TestDeps(t *testing.T) {
+	g := New()
+	a := g.Input(tensor.New(4, 8))
+	b := g.Input(tensor.New(4, 8))
+	s := g.Apply(ops.Add(), a, b)
+	g.Apply(ops.ReLU(), s[0])
+	relu := g.Nodes[1]
+	deps := g.Deps(relu)
+	if len(deps) != 1 || deps[0] != g.Nodes[0].ID {
+		t.Errorf("deps = %v", deps)
+	}
+	if len(g.Deps(g.Nodes[0])) != 0 {
+		t.Error("input-consuming node should have no node deps")
+	}
+	if g.Producer(a) != -1 {
+		t.Error("graph input should have producer -1")
+	}
+}
+
+func TestValidateCatchesUseBeforeDef(t *testing.T) {
+	g := tinyMLP(8)
+	// Swap the first two nodes so relu runs before the linear that feeds it.
+	g.Nodes[0], g.Nodes[1] = g.Nodes[1], g.Nodes[0]
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate accepted use-before-def ordering")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := tinyMLP(8)
+	c := g.Clone()
+	if err := c.ResizeBatch(256); err != nil {
+		t.Fatal(err)
+	}
+	if g.BatchSize() != 8 {
+		t.Errorf("resizing clone mutated original (batch=%d)", g.BatchSize())
+	}
+	if c.BatchSize() != 256 {
+		t.Errorf("clone batch = %d", c.BatchSize())
+	}
+}
+
+func TestTotalKernels(t *testing.T) {
+	g := tinyMLP(8)
+	if got := g.TotalKernels(); got != 3 {
+		t.Errorf("TotalKernels = %d, want 3", got)
+	}
+}
+
+func TestReplaceNodesFusesEmbeddingBags(t *testing.T) {
+	g := New()
+	idx := g.Input(tensor.NewTyped(tensor.Int64, 128, 4, 10))
+	var outs []TensorID
+	var ids []NodeID
+	for i := 0; i < 4; i++ {
+		o := g.Apply(ops.EmbeddingBag{Rows: 1000, L: 10, D: 16}, idx)
+		ids = append(ids, g.Producer(o[0]))
+		outs = append(outs, o[0])
+	}
+	cat := g.Apply(ops.Concat{Dim: 1}, outs...)
+	g.Apply(ops.ReLU(), cat[0]) // downstream consumer
+
+	ids = append(ids, g.Producer(cat[0]))
+	fused, err := g.ReplaceNodes(ids, ops.EmbeddingLookup{
+		Rows: []int64{1000, 1000, 1000, 1000}, L: 10, D: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 5 nodes replaced by 1: fused + relu remain.
+	if len(g.Nodes) != 2 {
+		t.Fatalf("nodes after fusion = %d, want 2", len(g.Nodes))
+	}
+	if fused.Op.Name() != "LookupFunction" {
+		t.Errorf("fused op = %s", fused.Op.Name())
+	}
+	out := g.Meta(fused.Outputs[0])
+	if out.Dim(0) != 128 || out.Dim(1) != 4 || out.Dim(2) != 16 {
+		t.Errorf("fused output meta = %v", out)
+	}
+	// The downstream relu must now depend on the fused node.
+	relu := g.Nodes[1]
+	deps := g.Deps(relu)
+	if len(deps) != 1 || deps[0] != fused.ID {
+		t.Errorf("relu deps after fusion = %v", deps)
+	}
+}
+
+func TestReplaceNodesReducesKernelAndOpCount(t *testing.T) {
+	g := New()
+	idx := g.Input(tensor.NewTyped(tensor.Int64, 128, 8, 10))
+	var outs []TensorID
+	var ids []NodeID
+	for i := 0; i < 8; i++ {
+		o := g.Apply(ops.EmbeddingBag{Rows: 5000, L: 10, D: 16}, idx)
+		ids = append(ids, g.Producer(o[0]))
+		outs = append(outs, o[0])
+	}
+	cat := g.Apply(ops.Concat{Dim: 1}, outs...)
+	g.Apply(ops.ReLU(), cat[0])
+	before := len(g.Nodes)
+	ids = append(ids, g.Producer(cat[0]))
+	rows := make([]int64, 8)
+	for i := range rows {
+		rows[i] = 5000
+	}
+	if _, err := g.ReplaceNodes(ids, ops.EmbeddingLookup{Rows: rows, L: 10, D: 16}); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Nodes) >= before {
+		t.Errorf("fusion did not shrink graph: %d -> %d", before, len(g.Nodes))
+	}
+}
+
+func TestRemoveNode(t *testing.T) {
+	g := tinyMLP(8)
+	last := g.Nodes[2]
+	if err := g.RemoveNode(last.ID); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Nodes) != 2 {
+		t.Fatalf("nodes = %d", len(g.Nodes))
+	}
+	// Removing a node with consumers must fail.
+	if err := g.RemoveNode(g.Nodes[0].ID); err == nil {
+		t.Fatal("RemoveNode allowed removing a consumed node")
+	}
+}
+
+func TestMoveNodeRespectsDeps(t *testing.T) {
+	g := New()
+	a := g.Input(tensor.New(4, 8))
+	g.Apply(ops.ReLU(), a)          // node 0
+	g.Apply(ops.Sigmoid(), a)       // node 1 — independent of node 0
+	relu2 := g.Apply(ops.ReLU(), a) // node 2
+	g.Apply(ops.Sigmoid(), relu2[0])
+
+	// Moving the independent sigmoid to front is legal.
+	if err := g.MoveNode(g.Nodes[1].ID, 0); err != nil {
+		t.Fatalf("legal move rejected: %v", err)
+	}
+	// Moving the dependent final sigmoid before its producer is illegal.
+	lastID := g.Nodes[3].ID
+	if err := g.MoveNode(lastID, 0); err == nil {
+		t.Fatal("illegal move accepted")
+	}
+	// Graph must be unchanged after the failed move.
+	if err := g.Validate(); err != nil {
+		t.Fatalf("graph corrupted after rejected move: %v", err)
+	}
+}
+
+func TestAssignStreams(t *testing.T) {
+	g := New()
+	a := g.Input(tensor.New(4, 8))
+	r1 := g.Apply(ops.ReLU(), a)
+	r2 := g.Apply(ops.Sigmoid(), a)
+	g.Apply(ops.Add(), r1[0], r2[0])
+	n := g.AssignStreams()
+	if n < 2 {
+		t.Fatalf("expected at least 2 streams for parallel branches, got %d", n)
+	}
+	if g.Nodes[0].Stream == g.Nodes[1].Stream {
+		t.Error("independent branches share a stream")
+	}
+	// The join lands on one of its dependencies' streams.
+	join := g.Nodes[2]
+	if join.Stream != g.Nodes[0].Stream && join.Stream != g.Nodes[1].Stream {
+		t.Error("join node on unrelated stream")
+	}
+	g.ResetStreams()
+	for _, node := range g.Nodes {
+		if node.Stream != 0 {
+			t.Error("ResetStreams left a node off stream 0")
+		}
+	}
+}
+
+func TestExportDecodeRoundTrip(t *testing.T) {
+	g := tinyMLP(32)
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != len(g.Nodes) {
+		t.Fatalf("decoded %d nodes, want %d", len(nodes), len(g.Nodes))
+	}
+	for i, n := range nodes {
+		if n.Name != g.Nodes[i].Op.Name() {
+			t.Errorf("node %d name %q != %q", i, n.Name, g.Nodes[i].Op.Name())
+		}
+		want := g.NodeKernels(g.Nodes[i])
+		if len(n.Kernels) != len(want) {
+			t.Errorf("node %d kernels %d != %d", i, len(n.Kernels), len(want))
+			continue
+		}
+		for j := range want {
+			if n.Kernels[j].String() != want[j].String() {
+				t.Errorf("node %d kernel %d: %s != %s", i, j, n.Kernels[j], want[j])
+			}
+		}
+	}
+	// Dependency edges survive.
+	if len(nodes[1].Deps) != 1 || nodes[1].Deps[0] != int(g.Nodes[0].ID) {
+		t.Errorf("decoded deps = %v", nodes[1].Deps)
+	}
+}

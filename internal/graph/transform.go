@@ -1,0 +1,253 @@
+package graph
+
+import (
+	"fmt"
+
+	"dlrmperf/internal/ops"
+)
+
+// This file implements the execution-graph transforms of Section V-A:
+// op fusion (Fig. 11), node removal/replacement for iterative model
+// tuning, dependency-respecting reordering, and multi-stream
+// parallelization.
+
+// ReplaceNodes removes the nodes with the given IDs and splices a single
+// fused node executing op in their place. The fused node consumes the
+// external inputs of the removed set (in first-use order) and its outputs
+// are rewired to the consumers of the removed nodes' outputs: the op's
+// i-th output replaces the i-th *externally consumed* output of the
+// removed set. This is the primitive behind the embedding-bag fusion
+// case study.
+func (g *Graph) ReplaceNodes(ids []NodeID, op ops.Op) (*Node, error) {
+	removed := map[NodeID]bool{}
+	for _, id := range ids {
+		if g.Node(id) == nil {
+			return nil, fmt.Errorf("graph: ReplaceNodes: unknown node %d", id)
+		}
+		removed[id] = true
+	}
+
+	// Collect internal outputs and external inputs of the removed set.
+	internalOut := map[TensorID]bool{}
+	for _, n := range g.Nodes {
+		if !removed[n.ID] {
+			continue
+		}
+		for _, out := range n.Outputs {
+			internalOut[out] = true
+		}
+	}
+	var extInputs []TensorID
+	seenIn := map[TensorID]bool{}
+	insertPos := -1
+	for i, n := range g.Nodes {
+		if !removed[n.ID] {
+			continue
+		}
+		if insertPos < 0 {
+			insertPos = i
+		}
+		for _, in := range n.Inputs {
+			if !internalOut[in] && !seenIn[in] {
+				seenIn[in] = true
+				extInputs = append(extInputs, in)
+			}
+		}
+	}
+	if insertPos < 0 {
+		return nil, fmt.Errorf("graph: ReplaceNodes: empty node set")
+	}
+
+	// Externally consumed outputs, in production order.
+	consumed := map[TensorID]bool{}
+	for _, n := range g.Nodes {
+		if removed[n.ID] {
+			continue
+		}
+		for _, in := range n.Inputs {
+			if internalOut[in] {
+				consumed[in] = true
+			}
+		}
+	}
+	var extOutputs []TensorID
+	for _, n := range g.Nodes {
+		if !removed[n.ID] {
+			continue
+		}
+		for _, out := range n.Outputs {
+			if consumed[out] {
+				extOutputs = append(extOutputs, out)
+			}
+		}
+	}
+
+	outMetas := op.Outputs(g.inputMetas(extInputs))
+	if len(outMetas) < len(extOutputs) {
+		return nil, fmt.Errorf("graph: ReplaceNodes: op %s produces %d outputs but %d are consumed externally",
+			op.Name(), len(outMetas), len(extOutputs))
+	}
+
+	fused := &Node{ID: g.nextNode, Op: op, Inputs: extInputs}
+	g.nextNode++
+	for i, m := range outMetas {
+		var id TensorID
+		if i < len(extOutputs) {
+			id = extOutputs[i] // reuse the consumed tensor IDs
+		} else {
+			id = g.nextTensor
+			g.nextTensor++
+		}
+		g.tensors[id] = m
+		g.producers[id] = fused.ID
+		fused.Outputs = append(fused.Outputs, id)
+	}
+
+	// Drop removed nodes, garbage-collect their unconsumed outputs, and
+	// splice the fused node at the first removed position.
+	var nodes []*Node
+	for i, n := range g.Nodes {
+		if i == insertPos {
+			nodes = append(nodes, fused)
+		}
+		if removed[n.ID] {
+			for _, out := range n.Outputs {
+				if !consumed[out] {
+					delete(g.tensors, out)
+					delete(g.producers, out)
+				}
+			}
+			continue
+		}
+		nodes = append(nodes, n)
+	}
+	g.Nodes = nodes
+	if err := g.Propagate(); err != nil {
+		return nil, err
+	}
+	return fused, nil
+}
+
+// RemoveNode deletes a node whose outputs are unused (e.g. dropping a
+// layer during iterative tuning). It fails if any output has a consumer.
+func (g *Graph) RemoveNode(id NodeID) error {
+	n := g.Node(id)
+	if n == nil {
+		return fmt.Errorf("graph: RemoveNode: unknown node %d", id)
+	}
+	outs := map[TensorID]bool{}
+	for _, o := range n.Outputs {
+		outs[o] = true
+	}
+	for _, other := range g.Nodes {
+		if other.ID == id {
+			continue
+		}
+		for _, in := range other.Inputs {
+			if outs[in] {
+				return fmt.Errorf("graph: RemoveNode: node %d output %d still consumed by node %d",
+					id, in, other.ID)
+			}
+		}
+	}
+	var nodes []*Node
+	for _, other := range g.Nodes {
+		if other.ID == id {
+			continue
+		}
+		nodes = append(nodes, other)
+	}
+	g.Nodes = nodes
+	for o := range outs {
+		delete(g.tensors, o)
+		delete(g.producers, o)
+	}
+	return nil
+}
+
+// MoveNode reorders node id to execute at position pos in the node list,
+// provided data dependencies still hold; otherwise it returns an error.
+// Reordering changes how host overheads overlap device work, which is
+// one of the optimization questions the performance model answers.
+func (g *Graph) MoveNode(id NodeID, pos int) error {
+	from := -1
+	for i, n := range g.Nodes {
+		if n.ID == id {
+			from = i
+			break
+		}
+	}
+	if from < 0 {
+		return fmt.Errorf("graph: MoveNode: unknown node %d", id)
+	}
+	if pos < 0 || pos >= len(g.Nodes) {
+		return fmt.Errorf("graph: MoveNode: position %d out of range", pos)
+	}
+	n := g.Nodes[from]
+	nodes := append([]*Node(nil), g.Nodes[:from]...)
+	nodes = append(nodes, g.Nodes[from+1:]...)
+	nodes = append(nodes[:pos], append([]*Node{n}, nodes[pos:]...)...)
+	old := g.Nodes
+	g.Nodes = nodes
+	if err := g.Validate(); err != nil {
+		g.Nodes = old
+		return fmt.Errorf("graph: MoveNode would violate dependencies: %w", err)
+	}
+	return nil
+}
+
+// AssignStreams places independent branches on distinct GPU streams. Two
+// nodes are independent when neither transitively consumes the other's
+// outputs. The transform greedily colors each node: the first consumer
+// of a producer inherits its stream, later consumers (fan-out branches)
+// get fresh streams, and join points collapse onto the smallest incoming
+// stream — a simple but effective heuristic for DLRM's parallel
+// embedding/MLP branches. It returns the number of streams used.
+func (g *Graph) AssignStreams() int {
+	streamOf := map[NodeID]int{}
+	branched := map[NodeID]bool{} // producer already has a same-stream consumer
+	next := 0
+	fresh := func() int {
+		s := next
+		next++
+		return s
+	}
+	for _, n := range g.Nodes {
+		deps := g.Deps(n)
+		switch len(deps) {
+		case 0:
+			n.Stream = fresh()
+		case 1:
+			d := deps[0]
+			if branched[d] {
+				// Fan-out: a sibling already continues the producer's
+				// stream, so this branch runs concurrently on a new one.
+				n.Stream = fresh()
+			} else {
+				n.Stream = streamOf[d]
+				branched[d] = true
+			}
+		default:
+			// Join points collapse onto the smallest incoming stream.
+			s := streamOf[deps[0]]
+			for _, d := range deps[1:] {
+				if streamOf[d] < s {
+					s = streamOf[d]
+				}
+			}
+			n.Stream = s
+		}
+		streamOf[n.ID] = n.Stream
+	}
+	if next == 0 {
+		next = 1
+	}
+	return next
+}
+
+// ResetStreams places every node back on stream 0 (the capture default).
+func (g *Graph) ResetStreams() {
+	for _, n := range g.Nodes {
+		n.Stream = 0
+	}
+}

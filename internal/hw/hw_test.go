@@ -1,0 +1,62 @@
+package hw
+
+import "testing"
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if p.GPU.Name != name {
+			t.Errorf("ByName(%q) returned GPU %q", name, p.GPU.Name)
+		}
+	}
+	if _, err := ByName("A100"); err == nil {
+		t.Error("ByName of unknown platform should error")
+	}
+}
+
+func TestAllCount(t *testing.T) {
+	if got := len(All()); got != 3 {
+		t.Fatalf("All() has %d platforms, want 3", got)
+	}
+}
+
+func TestSpecSanity(t *testing.T) {
+	for _, p := range All() {
+		g := p.GPU
+		if g.NumSMs <= 0 {
+			t.Errorf("%s: NumSMs = %d", g.Name, g.NumSMs)
+		}
+		if g.PeakFP32 <= 0 || g.DRAMBandwidth <= 0 || g.L2Bandwidth <= 0 {
+			t.Errorf("%s: non-positive throughput spec", g.Name)
+		}
+		if g.L2Bandwidth <= g.DRAMBandwidth {
+			t.Errorf("%s: L2 bandwidth %v should exceed DRAM bandwidth %v",
+				g.Name, g.L2Bandwidth, g.DRAMBandwidth)
+		}
+		if g.PCIeBandwidth >= g.DRAMBandwidth {
+			t.Errorf("%s: PCIe bandwidth should be far below DRAM", g.Name)
+		}
+		if g.L2Size <= 0 || g.MinKernelTime <= 0 || g.KernelLaunchLatency <= 0 {
+			t.Errorf("%s: non-positive latency/size spec", g.Name)
+		}
+		if p.Host.OverheadScale <= 0 || p.Host.OverheadCV <= 0 {
+			t.Errorf("%s: invalid host profile %+v", g.Name, p.Host)
+		}
+		if p.Host.TailWeight < 0 || p.Host.TailWeight >= 1 {
+			t.Errorf("%s: TailWeight %v out of [0,1)", g.Name, p.Host.TailWeight)
+		}
+	}
+}
+
+func TestV100IsFastest(t *testing.T) {
+	v, x, p := V100Platform().GPU, TITANXpPlatform().GPU, P100Platform().GPU
+	if !(v.PeakFP32 > x.PeakFP32 && x.PeakFP32 > p.PeakFP32) {
+		t.Error("expected FLOPS ordering V100 > TITAN Xp > P100")
+	}
+	if !(v.DRAMBandwidth > p.DRAMBandwidth && p.DRAMBandwidth > x.DRAMBandwidth) {
+		t.Error("expected DRAM BW ordering V100 > P100 > TITAN Xp")
+	}
+}

@@ -1,0 +1,212 @@
+// Package mlp is a small, dependency-free multilayer-perceptron library:
+// dense layers with ReLU, MSE loss, SGD and Adam optimizers, minibatch
+// training, and the hyperparameter grid search of Table II. It exists to
+// train the paper's ML-based kernel performance models (GEMM, transpose,
+// tril, conv) on microbenchmark data.
+//
+// Inputs are standardized internally (per-feature mean/std computed on
+// the training set); callers provide already log-transformed features and
+// targets, following Section III-B2's preprocessing.
+package mlp
+
+import (
+	"fmt"
+	"math"
+
+	"dlrmperf/internal/xrand"
+)
+
+// Net is a trained feed-forward network with ReLU hidden activations and
+// a linear scalar output.
+type Net struct {
+	// weights[l] is a flattened (out x in) matrix; biases[l] has length out.
+	weights [][]float64
+	biases  [][]float64
+	sizes   []int
+	// Feature standardization parameters.
+	featMean, featStd []float64
+}
+
+// NewNet builds an untrained network with the given layer sizes
+// (sizes[0] = input features, sizes[len-1] = 1 output), using He
+// initialization from rng.
+func NewNet(sizes []int, rng *xrand.Rand) *Net {
+	if len(sizes) < 2 {
+		panic("mlp: need at least input and output sizes")
+	}
+	n := &Net{sizes: append([]int(nil), sizes...)}
+	for l := 0; l+1 < len(sizes); l++ {
+		in, out := sizes[l], sizes[l+1]
+		w := make([]float64, in*out)
+		scale := math.Sqrt(2 / float64(in))
+		for i := range w {
+			w[i] = rng.NormFloat64() * scale
+		}
+		n.weights = append(n.weights, w)
+		n.biases = append(n.biases, make([]float64, out))
+	}
+	n.featMean = make([]float64, sizes[0])
+	n.featStd = make([]float64, sizes[0])
+	for i := range n.featStd {
+		n.featStd[i] = 1
+	}
+	return n
+}
+
+// NumParams returns the trainable parameter count.
+func (n *Net) NumParams() int {
+	total := 0
+	for l := range n.weights {
+		total += len(n.weights[l]) + len(n.biases[l])
+	}
+	return total
+}
+
+// setStandardization computes per-feature mean/std over xs.
+func (n *Net) setStandardization(xs [][]float64) {
+	d := n.sizes[0]
+	mean := make([]float64, d)
+	for _, x := range xs {
+		for i := 0; i < d; i++ {
+			mean[i] += x[i]
+		}
+	}
+	for i := range mean {
+		mean[i] /= float64(len(xs))
+	}
+	std := make([]float64, d)
+	for _, x := range xs {
+		for i := 0; i < d; i++ {
+			dd := x[i] - mean[i]
+			std[i] += dd * dd
+		}
+	}
+	for i := range std {
+		std[i] = math.Sqrt(std[i] / float64(len(xs)))
+		if std[i] < 1e-8 {
+			std[i] = 1
+		}
+	}
+	n.featMean, n.featStd = mean, std
+}
+
+// forward runs the network, storing activations into acts (one slice per
+// layer, acts[0] = standardized input). Returns the scalar output.
+func (n *Net) forward(x []float64, acts [][]float64) float64 {
+	in := acts[0]
+	for i := range in {
+		in[i] = (x[i] - n.featMean[i]) / n.featStd[i]
+	}
+	for l := range n.weights {
+		out := acts[l+1]
+		w := n.weights[l]
+		b := n.biases[l]
+		nin := n.sizes[l]
+		nout := n.sizes[l+1]
+		src := acts[l]
+		for o := 0; o < nout; o++ {
+			s := b[o]
+			row := w[o*nin : (o+1)*nin]
+			for i, v := range src {
+				s += row[i] * v
+			}
+			if l < len(n.weights)-1 && s < 0 {
+				s = 0 // ReLU on hidden layers
+			}
+			out[o] = s
+		}
+	}
+	return acts[len(acts)-1][0]
+}
+
+// Predict returns the network output for one input vector.
+func (n *Net) Predict(x []float64) float64 {
+	if len(x) != n.sizes[0] {
+		panic(fmt.Sprintf("mlp: input dim %d, want %d", len(x), n.sizes[0]))
+	}
+	acts := n.newActs()
+	return n.forward(x, acts)
+}
+
+func (n *Net) newActs() [][]float64 {
+	acts := make([][]float64, len(n.sizes))
+	for i, s := range n.sizes {
+		acts[i] = make([]float64, s)
+	}
+	return acts
+}
+
+// grads mirrors the weight/bias shapes.
+type grads struct {
+	w [][]float64
+	b [][]float64
+}
+
+func (n *Net) newGrads() *grads {
+	g := &grads{}
+	for l := range n.weights {
+		g.w = append(g.w, make([]float64, len(n.weights[l])))
+		g.b = append(g.b, make([]float64, len(n.biases[l])))
+	}
+	return g
+}
+
+func (g *grads) zero() {
+	for l := range g.w {
+		for i := range g.w[l] {
+			g.w[l][i] = 0
+		}
+		for i := range g.b[l] {
+			g.b[l][i] = 0
+		}
+	}
+}
+
+// backward accumulates gradients of 0.5*(out-y)^2 into g, given acts
+// populated by forward. Returns the squared error.
+func (n *Net) backward(y float64, acts [][]float64, g *grads, deltas [][]float64) float64 {
+	L := len(n.weights)
+	out := acts[L][0]
+	diff := out - y
+
+	// Output layer delta.
+	deltas[L][0] = diff
+	for l := L - 1; l >= 1; l-- {
+		nout := n.sizes[l+1]
+		nin := n.sizes[l]
+		w := n.weights[l]
+		d := deltas[l]
+		dn := deltas[l+1]
+		for i := 0; i < nin; i++ {
+			if acts[l][i] <= 0 { // ReLU derivative
+				d[i] = 0
+				continue
+			}
+			s := 0.0
+			for o := 0; o < nout; o++ {
+				s += w[o*nin+i] * dn[o]
+			}
+			d[i] = s
+		}
+	}
+	for l := 0; l < L; l++ {
+		nin := n.sizes[l]
+		nout := n.sizes[l+1]
+		src := acts[l]
+		dn := deltas[l+1]
+		gw := g.w[l]
+		gb := g.b[l]
+		for o := 0; o < nout; o++ {
+			d := dn[o]
+			if d == 0 {
+				continue
+			}
+			row := gw[o*nin : (o+1)*nin]
+			for i, v := range src {
+				row[i] += d * v
+			}
+			gb[o] += d
+		}
+	}
+	return diff * diff
+}

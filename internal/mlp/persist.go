@@ -1,0 +1,56 @@
+package mlp
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// wireNet is the serialized form of a trained network.
+type wireNet struct {
+	Sizes    []int       `json:"sizes"`
+	Weights  [][]float64 `json:"weights"`
+	Biases   [][]float64 `json:"biases"`
+	FeatMean []float64   `json:"feat_mean"`
+	FeatStd  []float64   `json:"feat_std"`
+}
+
+// MarshalJSON serializes the trained network (architecture, weights, and
+// input standardization), so calibrated performance models can live in a
+// shared asset database.
+func (n *Net) MarshalJSON() ([]byte, error) {
+	return json.Marshal(wireNet{
+		Sizes:    n.sizes,
+		Weights:  n.weights,
+		Biases:   n.biases,
+		FeatMean: n.featMean,
+		FeatStd:  n.featStd,
+	})
+}
+
+// UnmarshalJSON restores a network serialized by MarshalJSON.
+func (n *Net) UnmarshalJSON(data []byte) error {
+	var w wireNet
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	if len(w.Sizes) < 2 {
+		return fmt.Errorf("mlp: serialized net has %d layer sizes", len(w.Sizes))
+	}
+	if len(w.Weights) != len(w.Sizes)-1 || len(w.Biases) != len(w.Sizes)-1 {
+		return fmt.Errorf("mlp: layer count mismatch")
+	}
+	for l := 0; l+1 < len(w.Sizes); l++ {
+		if len(w.Weights[l]) != w.Sizes[l]*w.Sizes[l+1] || len(w.Biases[l]) != w.Sizes[l+1] {
+			return fmt.Errorf("mlp: layer %d shape mismatch", l)
+		}
+	}
+	if len(w.FeatMean) != w.Sizes[0] || len(w.FeatStd) != w.Sizes[0] {
+		return fmt.Errorf("mlp: standardization shape mismatch")
+	}
+	n.sizes = w.Sizes
+	n.weights = w.Weights
+	n.biases = w.Biases
+	n.featMean = w.FeatMean
+	n.featStd = w.FeatStd
+	return nil
+}

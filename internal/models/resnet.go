@@ -1,0 +1,107 @@
+package models
+
+import (
+	"dlrmperf/internal/graph"
+	"dlrmperf/internal/ops"
+	"dlrmperf/internal/tensor"
+)
+
+// bottleneckRec saves the tensors of one ResNet bottleneck block for its
+// backward pass.
+type bottleneckRec struct {
+	main     []convRec
+	shortcut []convRec // empty for identity shortcuts
+	// addOut is the tensor after the residual add (pre final relu).
+	blockIn graph.TensorID
+}
+
+// bottleneck emits one ResNet-50 bottleneck block:
+// 1x1(mid) -> 3x3(mid, stride) -> 1x1(4*mid) + shortcut, add, relu.
+func (b *cnnBuilder) bottleneck(x graph.TensorID, mid, stride int64) (graph.TensorID, bottleneckRec) {
+	rec := bottleneckRec{blockIn: x}
+	inC := b.g.Meta(x).Dim(1)
+	outC := 4 * mid
+
+	y := x
+	var r convRec
+	y, r = b.convBNRelu(y, mid, 1, 1, 1, 0, true)
+	rec.main = append(rec.main, r)
+	y, r = b.convBNRelu(y, mid, 3, 3, stride, 1, true)
+	rec.main = append(rec.main, r)
+	y, r = b.convBNRelu(y, outC, 1, 1, 1, 0, false)
+	rec.main = append(rec.main, r)
+
+	short := x
+	if inC != outC || stride != 1 {
+		short, r = b.convBNRelu(x, outC, 1, 1, stride, 0, false)
+		rec.shortcut = append(rec.shortcut, r)
+	}
+
+	out := b.g.Apply(ops.Add(), y, short)[0]
+	out = b.g.Apply(ops.ReLU(), out)[0]
+	return out, rec
+}
+
+// bottleneckBwd emits the backward ops of one block and returns the
+// gradient with respect to the block input.
+func (b *cnnBuilder) bottleneckBwd(grad graph.TensorID, rec bottleneckRec) graph.TensorID {
+	grad = b.g.Apply(ops.ReLUBackward(), grad)[0]
+	gradMain := b.seqBwd(grad, rec.main)
+	gradShort := grad
+	if len(rec.shortcut) > 0 {
+		gradShort = b.seqBwd(grad, rec.shortcut)
+	}
+	return b.g.Apply(ops.Add(), gradMain, gradShort)[0]
+}
+
+// BuildResNet50 constructs a full ResNet-50 training iteration on
+// 224x224 ImageNet-shaped inputs at the given batch size.
+func BuildResNet50(batch int64) *Model {
+	b := &cnnBuilder{g: graph.New()}
+	g := b.g
+
+	imgHost := g.Input(tensor.New(batch, 3, 224, 224))
+	x := g.Apply(ops.ToDevice{}, imgHost)[0]
+
+	// Stem: 7x7/2 conv, maxpool 3x3/2.
+	x, stem := b.convBNRelu(x, 64, 7, 7, 2, 3, true)
+	x = g.Apply(ops.MaxPool2d{Window: 3, Stride: 2}, x)[0]
+
+	// Stages: (mid width, block count, first-block stride).
+	stages := []struct {
+		mid, blocks, stride int64
+	}{
+		{64, 3, 1},
+		{128, 4, 2},
+		{256, 6, 2},
+		{512, 3, 2},
+	}
+	var recs []bottleneckRec
+	for _, st := range stages {
+		for i := int64(0); i < st.blocks; i++ {
+			stride := int64(1)
+			if i == 0 {
+				stride = st.stride
+			}
+			var rec bottleneckRec
+			x, rec = b.bottleneck(x, st.mid, stride)
+			recs = append(recs, rec)
+		}
+	}
+
+	grad := b.classifierHead(x, 1000)
+
+	// Backward through the stages.
+	for i := len(recs) - 1; i >= 0; i-- {
+		grad = b.bottleneckBwd(grad, recs[i])
+	}
+	// Maxpool backward (scatter via saved indices into the 2x-larger
+	// pre-pool tensor, hence 4 output elements written per input) and the
+	// stem.
+	grad = g.Apply(ops.Elementwise{
+		OpName: "MaxPool2DWithIndicesBackward0", ReadsPerElem: 8, WritesPerElem: 16,
+	}, grad)[0]
+	b.convBNBwd(grad, stem)
+
+	return b.finish(NameResNet50)
+}

@@ -1,0 +1,474 @@
+// Package ops defines the operator vocabulary of the modeled workloads.
+// An Op is a shape-polymorphic operator: given input tensor metadata it
+// reports its output metadata and the device kernels it launches. Ops
+// carry the PyTorch trace names the paper reports (aten::linear,
+// AddmmBackward0, LookupFunction, ...) so that breakdowns and overhead
+// tables read like the paper's figures.
+//
+// Keeping kernels derived (rather than stored) is what makes the
+// execution-graph transforms of Section V-A possible: resizing a batch or
+// fusing a subgraph re-propagates shapes and the kernel calls follow.
+package ops
+
+import (
+	"fmt"
+
+	"dlrmperf/internal/kernels"
+	"dlrmperf/internal/tensor"
+)
+
+// Op is one operator type instance.
+type Op interface {
+	// Name returns the trace name (used to key overhead statistics).
+	Name() string
+	// Outputs derives output tensor metadata from the inputs.
+	Outputs(inputs []tensor.Meta) []tensor.Meta
+	// Kernels derives the device kernel calls for the given inputs.
+	// Host-only ops (aten::view ...) return nil.
+	Kernels(inputs []tensor.Meta) []kernels.Kernel
+}
+
+func assertInputs(op string, inputs []tensor.Meta, want int) {
+	if len(inputs) != want {
+		panic(fmt.Sprintf("ops: %s expects %d inputs, got %d", op, want, len(inputs)))
+	}
+}
+
+// --- Element-wise family -------------------------------------------------
+
+// Elementwise is a generic pointwise operator emitting a single
+// element-wise kernel sized by its first input.
+type Elementwise struct {
+	OpName string
+	// ReadsPerElem/WritesPerElem/FLOPsPerElem parameterize the kernel.
+	ReadsPerElem, WritesPerElem, FLOPsPerElem float64
+	// ScalarOutput collapses the output to a scalar (losses, sums).
+	ScalarOutput bool
+	// NInputs is the expected input count (default 1).
+	NInputs int
+}
+
+// Name implements Op.
+func (e Elementwise) Name() string { return e.OpName }
+
+// Outputs implements Op.
+func (e Elementwise) Outputs(inputs []tensor.Meta) []tensor.Meta {
+	n := e.NInputs
+	if n == 0 {
+		n = 1
+	}
+	assertInputs(e.OpName, inputs, n)
+	if e.ScalarOutput {
+		return []tensor.Meta{tensor.New()}
+	}
+	return []tensor.Meta{inputs[0]}
+}
+
+// Kernels implements Op.
+func (e Elementwise) Kernels(inputs []tensor.Meta) []kernels.Kernel {
+	return []kernels.Kernel{kernels.Elementwise{
+		Name:          shortName(e.OpName),
+		NElems:        inputs[0].Numel(),
+		ReadsPerElem:  e.ReadsPerElem,
+		WritesPerElem: e.WritesPerElem,
+		FLOPsPerElem:  e.FLOPsPerElem,
+	}}
+}
+
+func shortName(opName string) string {
+	// "aten::relu" -> "relu"
+	for i := len(opName) - 1; i >= 0; i-- {
+		if opName[i] == ':' {
+			return opName[i+1:]
+		}
+	}
+	return opName
+}
+
+// ReLU returns aten::relu.
+func ReLU() Op {
+	return Elementwise{OpName: "aten::relu", ReadsPerElem: 4, WritesPerElem: 4, FLOPsPerElem: 1}
+}
+
+// ReLUBackward returns ReluBackward0 (reads grad and saved mask).
+func ReLUBackward() Op {
+	return Elementwise{OpName: "ReluBackward0", ReadsPerElem: 8, WritesPerElem: 4, FLOPsPerElem: 1}
+}
+
+// Sigmoid returns aten::sigmoid.
+func Sigmoid() Op {
+	return Elementwise{OpName: "aten::sigmoid", ReadsPerElem: 4, WritesPerElem: 4, FLOPsPerElem: 4}
+}
+
+// SigmoidBackward returns SigmoidBackward0.
+func SigmoidBackward() Op {
+	return Elementwise{OpName: "SigmoidBackward0", ReadsPerElem: 8, WritesPerElem: 4, FLOPsPerElem: 3}
+}
+
+// Add returns aten::add_ over two same-shaped tensors.
+func Add() Op {
+	return Elementwise{OpName: "aten::add_", ReadsPerElem: 8, WritesPerElem: 4, FLOPsPerElem: 1, NInputs: 2}
+}
+
+// MSELoss returns aten::mse_loss (pointwise diff + reduction fused).
+func MSELoss() Op {
+	return Elementwise{OpName: "aten::mse_loss", ReadsPerElem: 8, WritesPerElem: 0.1,
+		FLOPsPerElem: 3, ScalarOutput: true, NInputs: 2}
+}
+
+// MSELossBackward returns MseLossBackward0.
+func MSELossBackward() Op {
+	return Elementwise{OpName: "MseLossBackward0", ReadsPerElem: 8, WritesPerElem: 4,
+		FLOPsPerElem: 2, NInputs: 2}
+}
+
+// BCELoss returns aten::binary_cross_entropy.
+func BCELoss() Op {
+	return Elementwise{OpName: "aten::binary_cross_entropy", ReadsPerElem: 8, WritesPerElem: 0.1,
+		FLOPsPerElem: 8, ScalarOutput: true, NInputs: 2}
+}
+
+// BCELossBackward returns BinaryCrossEntropyBackward0.
+func BCELossBackward() Op {
+	return Elementwise{OpName: "BinaryCrossEntropyBackward0", ReadsPerElem: 8, WritesPerElem: 4,
+		FLOPsPerElem: 6, NInputs: 2}
+}
+
+// AccumulateGrad returns the autograd grad-accumulation node for one
+// parameter tensor.
+func AccumulateGrad() Op {
+	return Elementwise{OpName: "AccumulateGrad", ReadsPerElem: 8, WritesPerElem: 4, FLOPsPerElem: 1}
+}
+
+// Sum returns aten::sum over the input.
+func Sum() Op {
+	return Elementwise{OpName: "aten::sum", ReadsPerElem: 4, WritesPerElem: 0.05,
+		FLOPsPerElem: 1, ScalarOutput: true}
+}
+
+// Softmax returns aten::softmax (read twice: max+exp pass, normalize pass).
+func Softmax() Op {
+	return Elementwise{OpName: "aten::softmax", ReadsPerElem: 8, WritesPerElem: 4, FLOPsPerElem: 6}
+}
+
+// SoftmaxBackward returns SoftmaxBackward0.
+func SoftmaxBackward() Op {
+	return Elementwise{OpName: "SoftmaxBackward0", ReadsPerElem: 12, WritesPerElem: 4, FLOPsPerElem: 4}
+}
+
+// LayerNorm returns aten::layer_norm.
+func LayerNorm() Op {
+	return Elementwise{OpName: "aten::layer_norm", ReadsPerElem: 8, WritesPerElem: 4, FLOPsPerElem: 6}
+}
+
+// LayerNormBackward returns NativeLayerNormBackward0.
+func LayerNormBackward() Op {
+	return Elementwise{OpName: "NativeLayerNormBackward0", ReadsPerElem: 16, WritesPerElem: 8, FLOPsPerElem: 8}
+}
+
+// Dropout returns aten::dropout.
+func Dropout() Op {
+	return Elementwise{OpName: "aten::dropout", ReadsPerElem: 5, WritesPerElem: 8, FLOPsPerElem: 2}
+}
+
+// SliceBackward is the autograd node of one aten::cat input
+// (SliceBackward0): it copies the corresponding slice of the upstream
+// gradient out into a (B, Cols) tensor.
+type SliceBackward struct{ Cols int64 }
+
+// Name implements Op.
+func (SliceBackward) Name() string { return "SliceBackward0" }
+
+// Outputs implements Op.
+func (s SliceBackward) Outputs(inputs []tensor.Meta) []tensor.Meta {
+	assertInputs("SliceBackward0", inputs, 1)
+	return []tensor.Meta{tensor.New(inputs[0].Dim(0), s.Cols)}
+}
+
+// Kernels implements Op.
+func (s SliceBackward) Kernels(inputs []tensor.Meta) []kernels.Kernel {
+	return []kernels.Kernel{kernels.Elementwise{
+		Name: "slice_backward", NElems: inputs[0].Dim(0) * s.Cols,
+		ReadsPerElem: 4, WritesPerElem: 4,
+	}}
+}
+
+// View returns aten::view — a host-only metadata op with no kernels, the
+// paper's example of an op whose T5 path is taken in Algorithm 1.
+type View struct{ NewShape []int64 }
+
+// Name implements Op.
+func (v View) Name() string { return "aten::view" }
+
+// Outputs implements Op.
+func (v View) Outputs(inputs []tensor.Meta) []tensor.Meta {
+	assertInputs("aten::view", inputs, 1)
+	if len(v.NewShape) == 0 {
+		// Flatten keeping dim 0.
+		b := inputs[0].Dim(0)
+		return []tensor.Meta{tensor.NewTyped(inputs[0].DType, b, inputs[0].Numel()/b)}
+	}
+	shape := append([]int64(nil), v.NewShape...)
+	n := inputs[0].Numel()
+	known := int64(1)
+	infer := -1
+	for i, d := range shape {
+		if d == -1 {
+			infer = i
+			continue
+		}
+		known *= d
+	}
+	if infer >= 0 && known > 0 {
+		shape[infer] = n / known
+	}
+	return []tensor.Meta{tensor.NewTyped(inputs[0].DType, shape...)}
+}
+
+// Kernels implements Op.
+func (v View) Kernels([]tensor.Meta) []kernels.Kernel { return nil }
+
+// Zeros allocates a zero tensor on device (aten::zeros): one tiny fill
+// kernel.
+type Zeros struct{ Shape []int64 }
+
+// Name implements Op.
+func (z Zeros) Name() string { return "aten::zeros" }
+
+// Outputs implements Op.
+func (z Zeros) Outputs(inputs []tensor.Meta) []tensor.Meta {
+	return []tensor.Meta{tensor.New(z.Shape...)}
+}
+
+// Kernels implements Op.
+func (z Zeros) Kernels([]tensor.Meta) []kernels.Kernel {
+	m := tensor.New(z.Shape...)
+	return []kernels.Kernel{kernels.Elementwise{
+		Name: "fill", NElems: m.Numel(), WritesPerElem: 4,
+	}}
+}
+
+// --- Data movement ---------------------------------------------------------
+
+// ToDevice copies its input host->device (aten::to).
+type ToDevice struct{}
+
+// Name implements Op.
+func (ToDevice) Name() string { return "aten::to" }
+
+// Outputs implements Op.
+func (ToDevice) Outputs(inputs []tensor.Meta) []tensor.Meta {
+	assertInputs("aten::to", inputs, 1)
+	return []tensor.Meta{inputs[0]}
+}
+
+// Kernels implements Op.
+func (ToDevice) Kernels(inputs []tensor.Meta) []kernels.Kernel {
+	return []kernels.Kernel{kernels.Memcpy{NBytes: inputs[0].Bytes(), Dir: kernels.H2D}}
+}
+
+// Concat concatenates its inputs along Dim (aten::cat).
+type Concat struct{ Dim int }
+
+// Name implements Op.
+func (Concat) Name() string { return "aten::cat" }
+
+// Outputs implements Op.
+func (c Concat) Outputs(inputs []tensor.Meta) []tensor.Meta {
+	if len(inputs) == 0 {
+		panic("ops: aten::cat with no inputs")
+	}
+	out := append([]int64(nil), inputs[0].Shape...)
+	total := int64(0)
+	for _, in := range inputs {
+		total += in.Dim(c.Dim)
+	}
+	d := c.Dim
+	if d < 0 {
+		d += len(out)
+	}
+	out[d] = total
+	return []tensor.Meta{tensor.NewTyped(inputs[0].DType, out...)}
+}
+
+// Kernels implements Op.
+func (c Concat) Kernels(inputs []tensor.Meta) []kernels.Kernel {
+	out := c.Outputs(inputs)[0]
+	return []kernels.Kernel{kernels.Concat{OutBytes: out.Bytes(), NInputs: len(inputs)}}
+}
+
+// TransposeOp permutes the last two axes of a 3D tensor (aten::transpose
+// materialized by a JIT permute kernel).
+type TransposeOp struct{}
+
+// Name implements Op.
+func (TransposeOp) Name() string { return "aten::transpose" }
+
+// Outputs implements Op.
+func (TransposeOp) Outputs(inputs []tensor.Meta) []tensor.Meta {
+	assertInputs("aten::transpose", inputs, 1)
+	in := inputs[0]
+	if in.Rank() != 3 {
+		panic("ops: aten::transpose models batched 2<->3 axis permutation only")
+	}
+	return []tensor.Meta{tensor.NewTyped(in.DType, in.Dim(0), in.Dim(2), in.Dim(1))}
+}
+
+// Kernels implements Op.
+func (TransposeOp) Kernels(inputs []tensor.Meta) []kernels.Kernel {
+	in := inputs[0]
+	return []kernels.Kernel{kernels.Transpose{B: in.Dim(0), M: in.Dim(1), N: in.Dim(2)}}
+}
+
+// TBackward is the autograd node of a transpose (TBackward0).
+type TBackward struct{}
+
+// Name implements Op.
+func (TBackward) Name() string { return "TBackward0" }
+
+// Outputs implements Op.
+func (TBackward) Outputs(inputs []tensor.Meta) []tensor.Meta {
+	return TransposeOp{}.Outputs(inputs)
+}
+
+// Kernels implements Op.
+func (TBackward) Kernels(inputs []tensor.Meta) []kernels.Kernel {
+	return TransposeOp{}.Kernels(inputs)
+}
+
+// --- GEMM family -------------------------------------------------------------
+
+// Linear is aten::linear: x(B,in) @ W(in,out) + bias.
+type Linear struct{ Out int64 }
+
+// Name implements Op.
+func (Linear) Name() string { return "aten::linear" }
+
+// Outputs implements Op.
+func (l Linear) Outputs(inputs []tensor.Meta) []tensor.Meta {
+	assertInputs("aten::linear", inputs, 1)
+	return []tensor.Meta{tensor.New(inputs[0].Dim(0), l.Out)}
+}
+
+// Kernels implements Op.
+func (l Linear) Kernels(inputs []tensor.Meta) []kernels.Kernel {
+	in := inputs[0]
+	return []kernels.Kernel{kernels.GEMM{Batch: 1, M: in.Dim(0), N: l.Out, K: in.Dim(1)}}
+}
+
+// LinearBackward is AddmmBackward0: two GEMMs, dgrad (B,out)x(out,in) and
+// wgrad (in,B)x(B,out). Inputs: grad_out (B,out) and the saved input
+// activation (B,in).
+type LinearBackward struct{}
+
+// Name implements Op.
+func (LinearBackward) Name() string { return "AddmmBackward0" }
+
+// Outputs implements Op.
+func (LinearBackward) Outputs(inputs []tensor.Meta) []tensor.Meta {
+	assertInputs("AddmmBackward0", inputs, 2)
+	// grad wrt input, grad wrt weight.
+	gradOut, x := inputs[0], inputs[1]
+	return []tensor.Meta{x, tensor.New(x.Dim(1), gradOut.Dim(1))}
+}
+
+// Kernels implements Op.
+func (LinearBackward) Kernels(inputs []tensor.Meta) []kernels.Kernel {
+	gradOut, x := inputs[0], inputs[1]
+	b, out, in := gradOut.Dim(0), gradOut.Dim(1), x.Dim(1)
+	return []kernels.Kernel{
+		kernels.GEMM{Batch: 1, M: b, N: in, K: out}, // dX = dY @ W^T
+		kernels.GEMM{Batch: 1, M: in, N: out, K: b}, // dW = X^T @ dY
+	}
+}
+
+// BMM is aten::bmm over (B,M,K) x (B,K,N).
+type BMM struct{}
+
+// Name implements Op.
+func (BMM) Name() string { return "aten::bmm" }
+
+// Outputs implements Op.
+func (BMM) Outputs(inputs []tensor.Meta) []tensor.Meta {
+	assertInputs("aten::bmm", inputs, 2)
+	a, b := inputs[0], inputs[1]
+	return []tensor.Meta{tensor.New(a.Dim(0), a.Dim(1), b.Dim(2))}
+}
+
+// Kernels implements Op.
+func (BMM) Kernels(inputs []tensor.Meta) []kernels.Kernel {
+	a, b := inputs[0], inputs[1]
+	return []kernels.Kernel{kernels.GEMM{Batch: a.Dim(0), M: a.Dim(1), N: b.Dim(2), K: a.Dim(2)}}
+}
+
+// BMMBackward is BmmBackward0: two batched GEMMs. Inputs: grad_out
+// (B,M,N), saved a (B,M,K), saved b (B,K,N).
+type BMMBackward struct{}
+
+// Name implements Op.
+func (BMMBackward) Name() string { return "BmmBackward0" }
+
+// Outputs implements Op.
+func (BMMBackward) Outputs(inputs []tensor.Meta) []tensor.Meta {
+	assertInputs("BmmBackward0", inputs, 3)
+	return []tensor.Meta{inputs[1], inputs[2]}
+}
+
+// Kernels implements Op.
+func (BMMBackward) Kernels(inputs []tensor.Meta) []kernels.Kernel {
+	g, a, b := inputs[0], inputs[1], inputs[2]
+	return []kernels.Kernel{
+		kernels.GEMM{Batch: g.Dim(0), M: a.Dim(1), N: a.Dim(2), K: g.Dim(2)}, // dA = dC @ B^T
+		kernels.GEMM{Batch: g.Dim(0), M: b.Dim(1), N: b.Dim(2), K: g.Dim(1)}, // dB = A^T @ dC
+	}
+}
+
+// --- Optimizer -----------------------------------------------------------------
+
+// OptimizerStep is Optimizer.step: one SGD-update element-wise kernel per
+// parameter tensor (the paper predicts the op's kernel-time sum as a
+// whole; we keep the individual kernels so T4/T5 counts stay faithful).
+type OptimizerStep struct {
+	// ParamSizes lists the element count of each parameter tensor.
+	ParamSizes []int64
+}
+
+// Name implements Op.
+func (OptimizerStep) Name() string { return "Optimizer.step" }
+
+// Outputs implements Op.
+func (o OptimizerStep) Outputs(inputs []tensor.Meta) []tensor.Meta { return nil }
+
+// Kernels implements Op.
+func (o OptimizerStep) Kernels([]tensor.Meta) []kernels.Kernel {
+	ks := make([]kernels.Kernel, 0, len(o.ParamSizes))
+	for _, n := range o.ParamSizes {
+		ks = append(ks, kernels.Elementwise{
+			Name: "sgd_step", NElems: n, ReadsPerElem: 8, WritesPerElem: 4, FLOPsPerElem: 2,
+		})
+	}
+	return ks
+}
+
+// OptimizerZeroGrad is Optimizer.zero_grad: one fill kernel per parameter
+// gradient.
+type OptimizerZeroGrad struct {
+	ParamSizes []int64
+}
+
+// Name implements Op.
+func (OptimizerZeroGrad) Name() string { return "Optimizer.zero_grad" }
+
+// Outputs implements Op.
+func (o OptimizerZeroGrad) Outputs(inputs []tensor.Meta) []tensor.Meta { return nil }
+
+// Kernels implements Op.
+func (o OptimizerZeroGrad) Kernels([]tensor.Meta) []kernels.Kernel {
+	ks := make([]kernels.Kernel, 0, len(o.ParamSizes))
+	for _, n := range o.ParamSizes {
+		ks = append(ks, kernels.Elementwise{
+			Name: "zero_", NElems: n, WritesPerElem: 4,
+		})
+	}
+	return ks
+}

@@ -1,0 +1,174 @@
+package overhead
+
+import (
+	"math"
+	"testing"
+
+	"dlrmperf/internal/hw"
+	"dlrmperf/internal/models"
+	"dlrmperf/internal/sim"
+	"dlrmperf/internal/trace"
+)
+
+func profiledTrace(t *testing.T, model string, batch int64, seed uint64) *sim.Result {
+	t.Helper()
+	m, err := models.Build(model, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim.Run(m.Graph, sim.Config{
+		Platform: hw.V100Platform(), Seed: seed, Warmup: 2, Iters: 25,
+		Profile: true, Workload: model,
+	})
+}
+
+func TestExtractionRecoversT1Mean(t *testing.T) {
+	r := profiledTrace(t, models.NameDLRMDefault, 1024, 1)
+	db := FromTrace(r.Trace)
+	want := sim.T1Mean * hw.V100Platform().Host.OverheadScale
+	// Trimming removes the long tail, so the estimate sits at or slightly
+	// below the distribution mean.
+	if db.T1.Mean < want*0.75 || db.T1.Mean > want*1.15 {
+		t.Errorf("T1 mean = %v, want ~%v", db.T1.Mean, want)
+	}
+	if db.T1.N == 0 || db.T1.Std <= 0 {
+		t.Errorf("T1 stats incomplete: %+v", db.T1)
+	}
+}
+
+func TestExtractionRecoversPerOpT2(t *testing.T) {
+	r := profiledTrace(t, models.NameDLRMDefault, 1024, 2)
+	db := FromTrace(r.Trace)
+	host := hw.V100Platform().Host
+	s := sim.NewSampler(host, 0, models.NameDLRMDefault)
+	for _, op := range []string{"aten::linear", "AddmmBackward0", "aten::relu"} {
+		st, ok := db.PerOp[op]
+		if !ok {
+			t.Fatalf("no stats for %s", op)
+		}
+		want := s.MeanFor(sim.T2, op)
+		got := st[0].Mean
+		// The extracted value carries the workload bias and trimming, so
+		// allow a generous band around the base mean.
+		if got < want*0.6 || got > want*1.5 {
+			t.Errorf("%s T2 = %v, want ~%v", op, got, want)
+		}
+	}
+}
+
+func TestSizeIndependenceAcrossBatches(t *testing.T) {
+	a := FromTrace(profiledTrace(t, models.NameDLRMDefault, 512, 3).Trace)
+	b := FromTrace(profiledTrace(t, models.NameDLRMDefault, 4096, 4).Trace)
+	// The paper's size-independence: per-op T2 means agree across batch
+	// sizes up to sampling noise.
+	for _, op := range []string{"aten::linear", "aten::relu"} {
+		ma := a.T2Mean(op)
+		mb := b.T2Mean(op)
+		if math.Abs(ma-mb)/ma > 0.25 {
+			t.Errorf("%s T2 varies with batch: %v vs %v", op, ma, mb)
+		}
+	}
+}
+
+func TestKernellessOpsGetT5(t *testing.T) {
+	r := profiledTrace(t, models.NameDLRMDefault, 512, 5)
+	db := FromTrace(r.Trace)
+	st, ok := db.PerOp["aten::view"]
+	if !ok {
+		t.Fatal("no stats for aten::view")
+	}
+	if st[2].N == 0 {
+		t.Error("host-only op has no T5 samples")
+	}
+	if st[0].N != 0 {
+		t.Error("host-only op should have no T2 samples")
+	}
+}
+
+func TestT4PerFunction(t *testing.T) {
+	r := profiledTrace(t, models.NameDLRMDefault, 1024, 6)
+	db := FromTrace(r.Trace)
+	launch, okL := db.T4["cudaLaunchKernel"]
+	memcpy, okM := db.T4["cudaMemcpyAsync"]
+	if !okL || !okM {
+		t.Fatalf("missing T4 entries: launch=%v memcpy=%v", okL, okM)
+	}
+	if memcpy.Mean <= launch.Mean {
+		t.Errorf("cudaMemcpyAsync (%v) should exceed cudaLaunchKernel (%v)", memcpy.Mean, launch.Mean)
+	}
+}
+
+func TestSharedPoolsWorkloads(t *testing.T) {
+	a := profiledTrace(t, models.NameDLRMDefault, 1024, 7)
+	b := profiledTrace(t, models.NameDLRMMLPerf, 1024, 8)
+	shared := Shared([]*trace.Trace{a.Trace, b.Trace})
+	ind := FromTrace(a.Trace)
+	// The shared DB must cover the union of ops, including BCE (MLPerf
+	// only) which the default-model DB lacks.
+	if _, ok := shared.PerOp["aten::binary_cross_entropy"]; !ok {
+		t.Error("shared DB missing MLPerf-only op")
+	}
+	if _, ok := ind.PerOp["aten::binary_cross_entropy"]; ok {
+		t.Error("individual default DB unexpectedly has BCE stats")
+	}
+	// Pooling across workloads shifts per-op means (the workload bias),
+	// but not wildly.
+	si := ind.T2Mean("aten::linear")
+	ss := shared.T2Mean("aten::linear")
+	if si == ss {
+		t.Error("shared and individual T2 identical; expected workload-bias shift")
+	}
+	if math.Abs(si-ss)/si > 0.5 {
+		t.Errorf("shared vs individual T2 differ too much: %v vs %v", si, ss)
+	}
+}
+
+func TestTrimmingLowersT1Estimate(t *testing.T) {
+	// Long-tailed T1 samples mean the raw mean exceeds the trimmed mean —
+	// the paper's explanation for its systematic E2E underestimation.
+	r := profiledTrace(t, models.NameDLRMDefault, 1024, 9)
+	trimmed := FromTrace(r.Trace)
+	raw := NewCollector()
+	raw.TrimK = -1
+	raw.Add(r.Trace)
+	rawDB := raw.Finish()
+	if rawDB.T1.Mean <= trimmed.T1.Mean {
+		t.Errorf("raw T1 mean (%v) should exceed trimmed (%v)", rawDB.T1.Mean, trimmed.T1.Mean)
+	}
+}
+
+func TestDBJSONRoundTrip(t *testing.T) {
+	r := profiledTrace(t, models.NameDLRMDefault, 512, 10)
+	db := FromTrace(r.Trace)
+	data, err := db.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.T1.Mean != db.T1.Mean {
+		t.Errorf("T1 mean changed in round trip: %v vs %v", got.T1.Mean, db.T1.Mean)
+	}
+	if got.T2Mean("aten::linear") != db.T2Mean("aten::linear") {
+		t.Error("per-op T2 changed in round trip")
+	}
+	if len(got.Ops()) != len(db.Ops()) {
+		t.Errorf("op census changed: %d vs %d", len(got.Ops()), len(db.Ops()))
+	}
+}
+
+func TestLoadEmpty(t *testing.T) {
+	db, err := Load([]byte("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.PerOp == nil || db.T4 == nil {
+		t.Error("Load should initialize maps")
+	}
+	// Unknown op falls back to defaults (zero here).
+	if db.T2Mean("nope") != 0 {
+		t.Error("empty DB default should be 0")
+	}
+}

@@ -1,0 +1,65 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"dlrmperf/internal/kernels"
+)
+
+func TestRegistryRoundTrip(t *testing.T) {
+	cal := v100Calibration(t)
+	data, err := SaveRegistry(cal.Registry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadRegistry(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Device != cal.Registry.Device {
+		t.Errorf("device = %s", got.Device)
+	}
+	if len(got.Kinds()) != len(cal.Registry.Kinds()) {
+		t.Fatalf("kinds: %d vs %d", len(got.Kinds()), len(cal.Registry.Kinds()))
+	}
+	// Every model family must predict bit-identically after the round
+	// trip: heuristic (embedding), roofline (concat, memcpy), ML (GEMM,
+	// transpose, tril).
+	probes := []kernels.Kernel{
+		kernels.Embedding{B: 1024, E: 500_000, T: 8, L: 16, D: 64},
+		kernels.Embedding{B: 2048, E: 2000, T: 4, L: 4, D: 128, Backward: true},
+		kernels.Concat{OutBytes: 1 << 20, NInputs: 9},
+		kernels.Memcpy{NBytes: 4 << 20, Dir: kernels.H2D},
+		kernels.GEMM{Batch: 1, M: 2048, N: 1024, K: 512},
+		kernels.GEMM{Batch: 64, M: 9, N: 9, K: 64},
+		kernels.Transpose{B: 2048, M: 9, N: 64},
+		kernels.Tril{B: 2048, F: 27},
+		kernels.Tril{B: 2048, F: 27, Backward: true},
+		kernels.Elementwise{Name: "relu", NElems: 1 << 20, ReadsPerElem: 4, WritesPerElem: 4},
+	}
+	for _, k := range probes {
+		want, err := cal.Registry.Predict(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		have, err := got.Predict(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want != have {
+			t.Errorf("%s: prediction changed after round trip: %v vs %v", k, want, have)
+		}
+	}
+}
+
+func TestLoadRegistryRejectsGarbage(t *testing.T) {
+	if _, err := LoadRegistry([]byte("{")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if _, err := LoadRegistry([]byte(`{"device":"V100","models":{"GEMM":{"type":"nope","data":{}}}}`)); err == nil {
+		t.Error("unknown model type accepted")
+	}
+	if _, err := LoadRegistry([]byte(`{"device":"V100","models":{"warp9":{"type":"roofline","data":{}}}}`)); err == nil {
+		t.Error("unknown kernel kind accepted")
+	}
+}

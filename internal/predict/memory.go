@@ -1,0 +1,98 @@
+package predict
+
+import (
+	"dlrmperf/internal/graph"
+	"dlrmperf/internal/kernels"
+)
+
+// MemoryEstimate answers the paper's first what-if question — "how does
+// changing batch size and/or number of parameters impact performance and
+// memory constraints" — by sizing a training iteration's device-memory
+// footprint from the execution graph alone.
+type MemoryEstimate struct {
+	// Activations is the bytes of forward activations kept for backward
+	// (every non-scalar tensor produced during the iteration).
+	Activations int64
+	// Parameters is the dense parameter bytes.
+	Parameters int64
+	// Gradients mirrors Parameters (one gradient buffer per parameter).
+	Gradients int64
+	// OptimizerState is the additional optimizer bytes (0 for SGD, 1x
+	// params for momentum, 2x for Adam).
+	OptimizerState int64
+	// EmbeddingTables is the embedding weight bytes (updated sparsely,
+	// no dense gradient buffer).
+	EmbeddingTables int64
+	// Total sums all components.
+	Total int64
+}
+
+// OptimizerStateFactor returns the per-parameter state multiplier of an
+// optimizer name.
+func OptimizerStateFactor(optimizer string) int64 {
+	switch optimizer {
+	case "sgd":
+		return 0
+	case "momentum":
+		return 1
+	case "adam", "adagrad+momentum":
+		return 2
+	}
+	return 0
+}
+
+// EstimateMemory sizes the training footprint of g. denseParams is the
+// dense (MLP) parameter count; optimizer selects the state multiplier.
+// Embedding tables are discovered from the graph's lookup kernels.
+func EstimateMemory(g *graph.Graph, denseParams int64, optimizer string) MemoryEstimate {
+	var est MemoryEstimate
+
+	// Activations: every tensor produced on device during the iteration.
+	// (Views alias their inputs and are skipped.)
+	for _, n := range g.Nodes {
+		if len(g.NodeKernels(n)) == 0 {
+			continue // host-only metadata op: no new device storage
+		}
+		for _, out := range n.Outputs {
+			m := g.Meta(out)
+			if m.Rank() == 0 {
+				continue
+			}
+			est.Activations += m.Bytes()
+		}
+	}
+
+	est.Parameters = denseParams * 4
+	est.Gradients = est.Parameters
+	est.OptimizerState = est.Parameters * OptimizerStateFactor(optimizer)
+
+	// Embedding tables: E rows x D floats per table, discovered from the
+	// forward lookup kernels (T tables of average size E each).
+	seen := map[string]bool{}
+	for _, n := range g.Nodes {
+		for _, k := range g.NodeKernels(n) {
+			e, ok := k.(kernels.Embedding)
+			if !ok || e.Backward {
+				continue
+			}
+			key := e.String()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			est.EmbeddingTables += e.E * e.T * e.D * 4
+		}
+	}
+
+	est.Total = est.Activations + est.Parameters + est.Gradients +
+		est.OptimizerState + est.EmbeddingTables
+	return est
+}
+
+// FitsInMemory reports whether the estimate fits a device with the given
+// memory capacity in bytes, leaving a fraction of headroom for workspace
+// and allocator fragmentation (cuDNN workspaces, caching allocator).
+func (m MemoryEstimate) FitsInMemory(capacityBytes int64, headroomFrac float64) bool {
+	usable := float64(capacityBytes) * (1 - headroomFrac)
+	return float64(m.Total) <= usable
+}

@@ -1,0 +1,100 @@
+package predict
+
+import (
+	"fmt"
+
+	"dlrmperf/internal/graph"
+)
+
+// This file implements the paper's stated future work (§VI): extending
+// the performance model to (distributed) multi-GPU training. DLRM's
+// standard hybrid-parallel recipe is data parallelism for the dense MLPs
+// (gradients all-reduced every step) with the embedding tables
+// model-parallel across devices (activations exchanged by all-to-all).
+// The extension composes the single-GPU Algorithm 1 prediction with an
+// alpha-beta collective model.
+
+// CommModel prices communication collectives with the classic
+// alpha-beta model: latency alpha (µs) plus bytes over bus bandwidth
+// (B/µs), with the collective's algorithmic factor applied.
+type CommModel struct {
+	// Alpha is the per-collective latency in µs.
+	Alpha float64
+	// BusBW is the per-link bus bandwidth in B/µs.
+	BusBW float64
+}
+
+// NVLinkCommModel returns an NVLink-class interconnect (~22 GB/s
+// effective bus bandwidth per direction, ~10 µs launch latency).
+func NVLinkCommModel() CommModel {
+	return CommModel{Alpha: 10, BusBW: 22e3}
+}
+
+// PCIeCommModel returns a PCIe-class interconnect.
+func PCIeCommModel() CommModel {
+	return CommModel{Alpha: 15, BusBW: 10e3}
+}
+
+// AllReduce returns the time for a ring all-reduce of nBytes across n
+// devices: 2*(n-1)/n of the data crosses each link.
+func (c CommModel) AllReduce(nBytes int64, n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	factor := 2 * float64(n-1) / float64(n)
+	return c.Alpha + factor*float64(nBytes)/c.BusBW
+}
+
+// AllToAll returns the time for an all-to-all exchange of nBytes total
+// payload per device across n devices.
+func (c CommModel) AllToAll(nBytes int64, n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	factor := float64(n-1) / float64(n)
+	return c.Alpha + factor*float64(nBytes)/c.BusBW
+}
+
+// MultiGPUPrediction extends Prediction with the communication breakdown.
+type MultiGPUPrediction struct {
+	Prediction
+	// Devices is the device count.
+	Devices int
+	// AllReduceUs is the dense-gradient all-reduce time per step.
+	AllReduceUs float64
+	// AllToAllUs is the embedding-activation exchange time per step
+	// (forward + backward).
+	AllToAllUs float64
+	// ScalingEfficiency is singleGPU*N / (N * multiGPU) — the fraction of
+	// linear weak-scaling throughput retained.
+	ScalingEfficiency float64
+}
+
+// PredictDataParallel predicts the per-batch time of hybrid-parallel
+// DLRM training on n identical devices: each device runs the (per-device
+// batch) execution graph g, dense gradients are all-reduced (overlapped
+// with nothing, the conservative schedule), and embedding activations
+// are exchanged all-to-all in forward and backward.
+//
+// g must already be built at the *per-device* batch size. denseParams is
+// the dense parameter count; embActBytes the per-device embedding
+// activation payload per direction (B_device * T * D * 4 for DLRM).
+func (p *Predictor) PredictDataParallel(g *graph.Graph, n int, denseParams, embActBytes int64, comm CommModel) (MultiGPUPrediction, error) {
+	if n < 1 {
+		return MultiGPUPrediction{}, fmt.Errorf("predict: device count %d must be >= 1", n)
+	}
+	single, err := p.Predict(g)
+	if err != nil {
+		return MultiGPUPrediction{}, err
+	}
+	out := MultiGPUPrediction{Prediction: single, Devices: n, ScalingEfficiency: 1}
+	if n == 1 {
+		return out, nil
+	}
+	out.AllReduceUs = comm.AllReduce(denseParams*4, n)
+	// All-to-all twice: activations forward, gradients backward.
+	out.AllToAllUs = 2 * comm.AllToAll(embActBytes, n)
+	out.E2E = single.E2E + out.AllReduceUs + out.AllToAllUs
+	out.ScalingEfficiency = single.E2E / out.E2E
+	return out, nil
+}

@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"hash/fnv"
+
+	"dlrmperf/internal/hw"
+	"dlrmperf/internal/xrand"
+)
+
+// This file is the *ground truth* for host-side overheads: the
+// distributions the simulated PyTorch runtime draws from. The paper's
+// five overhead types (Section III-C, Fig. 6) are generated here with the
+// properties the paper empirically observes and assumes:
+//
+//   - model-independence: a given op's overhead distribution is a
+//     property of (op name, host), not of the model it appears in;
+//   - size-independence: distributions do not depend on tensor sizes;
+//   - per-op variation: different ops have different T2/T3/T5 means
+//     (Fig. 8 spans ~2-45 µs across ops);
+//   - long tails: occasional 3-8x outliers, especially for T1 and
+//     cudaMemcpyAsync, which the paper identifies as the cause of its
+//     systematic E2E underestimation once outliers are trimmed.
+//
+// The prediction side never reads these distributions; it re-estimates
+// overheads from traces, as the paper does.
+
+// Overhead type indices.
+const (
+	T1 = iota // gap between two top-level op calls
+	T2        // op start to first kernel launch
+	T3        // last kernel launch end to op end
+	T4        // CUDA runtime function execution
+	T5        // between two kernel launches
+)
+
+// Runtime function names used in traces.
+const (
+	RTLaunchKernel = "cudaLaunchKernel"
+	RTMemcpyAsync  = "cudaMemcpyAsync"
+)
+
+// Sampler draws ground-truth overhead samples for one host.
+type Sampler struct {
+	host     hw.Host
+	workload string
+	rng      *xrand.Rand
+}
+
+// NewSampler returns a Sampler for the host drawing from seed. The
+// workload name induces a mild (±15%) per-op bias: the paper's
+// model-independence assumption holds only approximately on real systems
+// (Section IV-B offers "not a strict mathematical proof"), and this
+// residual dependence is what makes shared-overhead prediction slightly
+// worse than per-workload overheads in Fig. 9.
+func NewSampler(host hw.Host, seed uint64, workload string) *Sampler {
+	return &Sampler{host: host, workload: workload, rng: xrand.New(seed)}
+}
+
+// workloadBias returns the stable per-workload mean factor: a global
+// component (models stress the Python dispatcher, allocator, and
+// autograd bookkeeping differently as a whole) times a per-op component.
+// Both are invisible to a shared overhead database, which is what costs
+// shared-overhead prediction its extra error in Fig. 9.
+func (s *Sampler) workloadBias(typ int, op string) float64 {
+	if s.workload == "" {
+		return 1
+	}
+	global := 1 + 0.18*(opHash(s.workload, 77)-0.5)
+	perOp := 1 + 0.22*(opHash(s.workload+"\x00"+op, byte(16+typ))-0.5)
+	return global * perOp
+}
+
+// opHash returns a stable uniform value in [0,1) for (op, salt),
+// implementing "every op has its own characteristic overhead".
+func opHash(op string, salt byte) float64 {
+	h := fnv.New64a()
+	h.Write([]byte(op))
+	h.Write([]byte{salt})
+	return float64(h.Sum64()>>11) / (1 << 53)
+}
+
+// T1Mean is the reference mean of the between-ops gap on the V100 host
+// (Fig. 7 shows ~8 µs across all models and batch sizes).
+const T1Mean = 8.0
+
+// MeanFor returns the distribution mean of the given overhead type for an
+// op on this host. Exposed so tests can verify the model/size
+// independence assumptions directly.
+func (s *Sampler) MeanFor(typ int, op string) float64 {
+	var m float64
+	switch typ {
+	case T1:
+		m = T1Mean
+	case T2:
+		// Skewed: most ops dispatch quickly, autograd-heavy ops slowly.
+		u := opHash(op, 2)
+		m = 8 + 52*u*u
+	case T3:
+		m = 3 + 14*opHash(op, 3)
+	case T5:
+		m = 4 + 22*opHash(op, 5)
+	case T4:
+		m = 9.5
+	default:
+		panic("sim: unknown overhead type")
+	}
+	return m * s.host.OverheadScale
+}
+
+// T4Mean returns the runtime-call mean for a specific runtime function:
+// cudaMemcpyAsync is slower and tailier than cudaLaunchKernel.
+func (s *Sampler) T4Mean(fn string) float64 {
+	m := 9.5
+	if fn == RTMemcpyAsync {
+		m = 15.0
+	}
+	return m * s.host.OverheadScale
+}
+
+// sample draws from a lognormal with the host's CV around mean, with a
+// TailWeight chance of a 3-8x long-tail excursion.
+func (s *Sampler) sample(mean, tailBoost float64) float64 {
+	v := s.rng.LogNormalMeanCV(mean, s.host.OverheadCV)
+	if s.rng.Float64() < s.host.TailWeight*tailBoost {
+		v *= 3 + 5*s.rng.Float64()
+	}
+	return v
+}
+
+// Sample draws one overhead of the given type for op.
+func (s *Sampler) Sample(typ int, op string) float64 {
+	tail := 1.0
+	if typ == T1 {
+		tail = 1.6 // T1 has the heaviest tail (GC, allocator, Python)
+	}
+	return s.sample(s.MeanFor(typ, op)*s.workloadBias(typ, op), tail)
+}
+
+// SampleT4 draws one runtime-call duration for the named function.
+func (s *Sampler) SampleT4(fn string) float64 {
+	tail := 1.0
+	if fn == RTMemcpyAsync {
+		tail = 2.0
+	}
+	return s.sample(s.T4Mean(fn), tail)
+}
+
+// Profiler overhead reference constants (Section III-C): the values the
+// paper's analyzer subtracts per event. The simulator injects stochastic
+// overheads *around* these means, so subtraction leaves a small residual,
+// as on real hardware.
+const (
+	ProfilerGPUEventOverhead = 4.0
+	ProfilerCPUEventOverhead = 2.0
+)
+
+// SampleProfilerCPU draws the profiler cost added to each CPU op event.
+func (s *Sampler) SampleProfilerCPU() float64 {
+	return s.rng.LogNormalMeanCV(ProfilerCPUEventOverhead*s.host.OverheadScale, 0.25)
+}
+
+// SampleProfilerGPU draws the profiler cost added per GPU (kernel) event.
+func (s *Sampler) SampleProfilerGPU() float64 {
+	return s.rng.LogNormalMeanCV(ProfilerGPUEventOverhead*s.host.OverheadScale, 0.25)
+}

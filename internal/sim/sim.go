@@ -1,0 +1,188 @@
+// Package sim is the discrete-event simulator that stands in for the
+// paper's GPU testbed: it executes an execution graph the way the
+// PyTorch + CUDA stack does — a host thread issuing operators with
+// stochastic per-type overheads (T1..T5), kernels launched asynchronously
+// onto device streams, the device draining them in stream order — and
+// records profiler-style traces.
+//
+// Everything the paper *measures* (per-batch training time, GPU active
+// time, utilization, breakdowns, overhead samples) is produced here;
+// everything the paper *predicts* lives in internal/perfmodel and
+// internal/predict, which never see the simulator's internals.
+package sim
+
+import (
+	"dlrmperf/internal/graph"
+	"dlrmperf/internal/hw"
+	"dlrmperf/internal/kernels"
+	"dlrmperf/internal/trace"
+	"dlrmperf/internal/xrand"
+)
+
+// Config controls a simulated run.
+type Config struct {
+	Platform hw.Platform
+	// Seed drives every stochastic component of the run.
+	Seed uint64
+	// Warmup iterations are executed but not recorded (the paper warms up
+	// for 5 iterations before measuring).
+	Warmup int
+	// Iters is the number of recorded iterations.
+	Iters int
+	// Profile injects profiler overheads into host time, as collecting a
+	// trace does on real hardware. Measured E2E runs use Profile=false;
+	// overhead-extraction runs use Profile=true.
+	Profile bool
+	// Workload names the model being run; it induces the mild per-op
+	// overhead bias that breaks exact model-independence (see
+	// NewSampler).
+	Workload string
+}
+
+// DefaultConfig returns a 5-warmup, 30-iteration unprofiled run.
+func DefaultConfig(p hw.Platform, seed uint64) Config {
+	return Config{Platform: p, Seed: seed, Warmup: 5, Iters: 30}
+}
+
+// Result bundles the trace of a run.
+type Result struct {
+	Trace *trace.Trace
+	// MeanIterTime is the measured per-batch training time in µs.
+	MeanIterTime float64
+	// MeanActiveTime is the measured device active time per batch in µs.
+	MeanActiveTime float64
+}
+
+// interKernelGap is the device-side scheduling gap between back-to-back
+// kernels on one stream (the "+1 µs" granularity Algorithm 1 models).
+const interKernelGap = 0.8
+
+// Run simulates cfg.Warmup+cfg.Iters training iterations of g.
+func Run(g *graph.Graph, cfg Config) *Result {
+	if cfg.Iters <= 0 {
+		cfg.Iters = 1
+	}
+	root := xrand.New(cfg.Seed)
+	dev := kernels.NewDevice(cfg.Platform.GPU, root.Split().Uint64())
+	ovh := NewSampler(cfg.Platform.Host, root.Split().Uint64(), cfg.Workload)
+
+	tr := &trace.Trace{Iters: cfg.Iters}
+	host := 0.0
+	streamFree := map[int]float64{}
+	// deviceReady[node] is when the node's outputs exist on device.
+	deviceReady := map[graph.NodeID]float64{}
+
+	total := cfg.Warmup + cfg.Iters
+	for it := 0; it < total; it++ {
+		rec := it >= cfg.Warmup
+		iterIdx := it - cfg.Warmup
+		iterStart := host
+
+		for _, node := range g.Nodes {
+			// T1: gap before the op.
+			host += ovh.Sample(T1, node.Op.Name())
+			opStart := host
+			opName := node.Op.Name()
+			if cfg.Profile {
+				host += ovh.SampleProfilerCPU()
+			}
+
+			// Cross-dependency device readiness (matters across streams;
+			// same-stream ordering is enforced by streamFree).
+			depReady := 0.0
+			for _, d := range g.Deps(node) {
+				if r := deviceReady[d]; r > depReady {
+					depReady = r
+				}
+			}
+
+			ks := g.NodeKernels(node)
+			if len(ks) > 0 {
+				host += ovh.Sample(T2, opName)
+				lastEnd := depReady
+				for i, k := range ks {
+					fn := RTLaunchKernel
+					switch k.Kind() {
+					case kernels.KindMemcpyH2D, kernels.KindMemcpyD2H, kernels.KindMemcpyD2D:
+						fn = RTMemcpyAsync
+					}
+					t4 := ovh.SampleT4(fn)
+					rtStart := host
+					host += t4
+					rtEnd := host
+					if cfg.Profile {
+						host += ovh.SampleProfilerGPU()
+					}
+
+					start := rtEnd + cfg.Platform.GPU.KernelLaunchLatency
+					if sf := streamFree[node.Stream] + interKernelGap; sf > start {
+						start = sf
+					}
+					if depReady > start {
+						start = depReady
+					}
+					dur := dev.Run(k)
+					end := start + dur
+					streamFree[node.Stream] = end
+					if end > lastEnd {
+						lastEnd = end
+					}
+
+					if rec {
+						tr.Events = append(tr.Events,
+							trace.Event{
+								Kind: trace.RuntimeCall, Name: fn, Op: opName,
+								Start: rtStart, End: rtEnd, Iter: iterIdx,
+								Node: int(node.ID), Seq: i,
+							},
+							trace.Event{
+								Kind: trace.KernelSpan, Name: k.String(), Op: opName,
+								Start: start, End: end, Iter: iterIdx,
+								Node: int(node.ID), Stream: node.Stream, Seq: i,
+							})
+					}
+					if i < len(ks)-1 {
+						host += ovh.Sample(T5, opName)
+					}
+				}
+				host += ovh.Sample(T3, opName)
+				deviceReady[node.ID] = lastEnd
+			} else {
+				// Host-only op: the T5-style body of Algorithm 1's else
+				// branch.
+				host += ovh.Sample(T5, opName)
+				deviceReady[node.ID] = depReady
+			}
+
+			if rec {
+				tr.Events = append(tr.Events, trace.Event{
+					Kind: trace.OpSpan, Name: opName, Op: opName,
+					Start: opStart, End: host, Iter: iterIdx, Node: int(node.ID),
+				})
+			}
+		}
+
+		// Iteration boundary: the training loop synchronizes (loss read /
+		// next-batch handoff), so the batch time includes the drain.
+		devEnd := 0.0
+		for _, f := range streamFree {
+			if f > devEnd {
+				devEnd = f
+			}
+		}
+		iterEnd := host
+		if devEnd > iterEnd {
+			iterEnd = devEnd
+		}
+		if rec {
+			tr.IterSpans = append(tr.IterSpans, [2]float64{iterStart, iterEnd})
+		}
+		host = iterEnd
+	}
+
+	return &Result{
+		Trace:          tr,
+		MeanIterTime:   tr.MeanIterationTime(),
+		MeanActiveTime: tr.MeanActiveTime(),
+	}
+}

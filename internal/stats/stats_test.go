@@ -1,0 +1,196 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dlrmperf/internal/xrand"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+}
+
+func TestStd(t *testing.T) {
+	if got := Std([]float64{2, 2, 2}); got != 0 {
+		t.Errorf("Std of constant = %v, want 0", got)
+	}
+	got := Std([]float64{1, 3})
+	if !almost(got, 1, 1e-12) {
+		t.Errorf("Std([1,3]) = %v, want 1", got)
+	}
+	if got := Std([]float64{5}); got != 0 {
+		t.Errorf("Std of single = %v, want 0", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 {
+		t.Errorf("Min = %v", Min(xs))
+	}
+	if Max(xs) != 7 {
+		t.Errorf("Max = %v", Max(xs))
+	}
+}
+
+func TestMinPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Min(nil) did not panic")
+		}
+	}()
+	Min(nil)
+}
+
+func TestGeomean(t *testing.T) {
+	got := Geomean([]float64{1, 100})
+	if !almost(got, 10, 1e-9) {
+		t.Errorf("Geomean([1,100]) = %v, want 10", got)
+	}
+	if got := Geomean(nil); got != 0 {
+		t.Errorf("Geomean(nil) = %v, want 0", got)
+	}
+}
+
+func TestGeomeanLEArithmeticMean(t *testing.T) {
+	rng := xrand.New(1)
+	f := func(seed uint16) bool {
+		n := int(seed%20) + 2
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64()*10 + 0.01
+		}
+		return Geomean(xs) <= Mean(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		p, want float64
+	}{{0, 1}, {50, 3}, {100, 5}, {25, 2}, {75, 4}}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almost(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := Percentile(xs, 50); !almost(got, 5, 1e-12) {
+		t.Errorf("Percentile(50) = %v, want 5", got)
+	}
+}
+
+func TestTrimIQRRemovesOutliers(t *testing.T) {
+	xs := []float64{5, 6, 5, 7, 6, 5, 6, 7, 500}
+	out := TrimIQR(xs, 1.5)
+	for _, v := range out {
+		if v > 100 {
+			t.Fatalf("outlier %v survived trimming", v)
+		}
+	}
+	if len(out) != len(xs)-1 {
+		t.Fatalf("trimmed %d values, want 1", len(xs)-len(out))
+	}
+}
+
+func TestTrimIQRSmallInputsUnchanged(t *testing.T) {
+	xs := []float64{1, 1000, 2}
+	out := TrimIQR(xs, 1.5)
+	if len(out) != 3 {
+		t.Fatalf("small input was trimmed: %v", out)
+	}
+}
+
+func TestTrimIQRPreservesOrder(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	out := TrimIQR(xs, 3)
+	for i := 1; i < len(out); i++ {
+		// With k=3 nothing is removed, so order must be the original.
+		if out[i] != xs[i] {
+			t.Fatalf("order not preserved: %v vs %v", out, xs)
+		}
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if got := RelErr(90, 100); !almost(got, -0.1, 1e-12) {
+		t.Errorf("RelErr = %v, want -0.1", got)
+	}
+	if got := AbsRelErr(90, 100); !almost(got, 0.1, 1e-12) {
+		t.Errorf("AbsRelErr = %v, want 0.1", got)
+	}
+}
+
+func TestGMAEPerfectPrediction(t *testing.T) {
+	pred := []float64{1, 2, 3}
+	if got := GMAE(pred, pred); got > 1e-10 {
+		t.Errorf("GMAE of perfect prediction = %v, want ~0", got)
+	}
+}
+
+func TestGMAEKnownValue(t *testing.T) {
+	pred := []float64{110, 121}
+	actual := []float64{100, 110}
+	got := GMAE(pred, actual)
+	if !almost(got, 0.1, 1e-3) {
+		t.Errorf("GMAE = %v, want ~0.1", got)
+	}
+}
+
+func TestGMAESkipsNonPositiveActuals(t *testing.T) {
+	pred := []float64{5, 110}
+	actual := []float64{0, 100}
+	got := GMAE(pred, actual)
+	if !almost(got, 0.1, 1e-9) {
+		t.Errorf("GMAE = %v, want 0.1 (zero-actual pair skipped)", got)
+	}
+}
+
+func TestGMAELengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched GMAE did not panic")
+		}
+	}()
+	GMAE([]float64{1}, []float64{1, 2})
+}
+
+func TestSummarize(t *testing.T) {
+	pred := []float64{110, 90, 105}
+	actual := []float64{100, 100, 100}
+	s := Summarize(pred, actual)
+	if s.N != 3 {
+		t.Errorf("N = %d", s.N)
+	}
+	if !almost(s.Mean, (0.1+0.1+0.05)/3, 1e-9) {
+		t.Errorf("Mean = %v", s.Mean)
+	}
+	if s.GMAE <= 0 || s.GMAE > s.Mean+1e-9 {
+		t.Errorf("GMAE = %v should be positive and <= mean %v", s.GMAE, s.Mean)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	s := Describe([]float64{2, 4})
+	if s.Mean != 3 || s.N != 2 {
+		t.Errorf("Describe = %+v", s)
+	}
+	if !almost(s.Std, 1, 1e-12) {
+		t.Errorf("Std = %v, want 1", s.Std)
+	}
+}

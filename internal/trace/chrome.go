@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"encoding/json"
+)
+
+// chromeEvent is one entry of the Chrome Trace Event Format (the
+// "complete event" phase), loadable in chrome://tracing or Perfetto —
+// the same viewer workflow the paper's PyTorch profiler traces use.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`  // µs
+	Dur  float64           `json:"dur"` // µs
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// Chrome thread-ID layout: host op spans on tid 0, runtime calls on
+// tid 1, each GPU stream on 100+stream.
+const (
+	chromeTIDOps     = 0
+	chromeTIDRuntime = 1
+	chromeTIDStream0 = 100
+)
+
+// ToChromeTrace renders the trace in the Chrome Trace Event Format.
+// Host events land on pid 0 (ops on tid 0, CUDA runtime calls on tid 1);
+// kernels land on pid 1 with one tid per stream.
+func (t *Trace) ToChromeTrace() ([]byte, error) {
+	var events []chromeEvent
+	for _, e := range t.Events {
+		ce := chromeEvent{
+			Name: e.Name,
+			Ph:   "X",
+			Ts:   e.Start,
+			Dur:  e.Duration(),
+			Args: map[string]string{"op": e.Op},
+		}
+		switch e.Kind {
+		case OpSpan:
+			ce.Cat, ce.PID, ce.TID = "op", 0, chromeTIDOps
+		case RuntimeCall:
+			ce.Cat, ce.PID, ce.TID = "cuda_runtime", 0, chromeTIDRuntime
+		case KernelSpan:
+			ce.Cat, ce.PID, ce.TID = "kernel", 1, chromeTIDStream0+e.Stream
+		}
+		events = append(events, ce)
+	}
+	return json.MarshalIndent(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{events}, "", " ")
+}

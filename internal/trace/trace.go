@@ -1,0 +1,240 @@
+// Package trace defines the profiler trace format the simulator emits and
+// the analyses the paper's "Analysis Track" performs on it: per-batch
+// iteration times, device active/idle breakdowns (Fig. 5), GPU
+// utilization (Fig. 1), and the per-op event structure the overhead
+// extractor consumes.
+//
+// A trace mirrors what PyTorch's profiler (Kineto) records: host-side op
+// spans, host-side CUDA runtime calls (cudaLaunchKernel /
+// cudaMemcpyAsync), and device-side kernel spans, each attributed to an
+// op and an iteration. All times are in microseconds.
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EventKind distinguishes trace event types.
+type EventKind int
+
+// Event kinds.
+const (
+	// OpSpan is a host-side top-level operator call.
+	OpSpan EventKind = iota
+	// RuntimeCall is a host-side CUDA runtime function (one per launch).
+	RuntimeCall
+	// KernelSpan is a device-side kernel execution.
+	KernelSpan
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case OpSpan:
+		return "op"
+	case RuntimeCall:
+		return "runtime"
+	case KernelSpan:
+		return "kernel"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one trace record.
+type Event struct {
+	Kind  EventKind
+	Name  string  // op name, runtime function name, or kernel name
+	Op    string  // owning op name (for runtime calls and kernels)
+	Start float64 // µs
+	End   float64 // µs
+	Iter  int
+	Node  int // graph node ID
+	// Stream is the device stream (kernel events).
+	Stream int
+	// Seq orders runtime calls / kernels within their op.
+	Seq int
+}
+
+// Duration returns End-Start.
+func (e Event) Duration() float64 { return e.End - e.Start }
+
+// Trace is an ordered event log over a multi-iteration run.
+type Trace struct {
+	Events []Event
+	// Iters is the number of recorded (post-warmup) iterations.
+	Iters int
+	// IterSpans records [start, end] per iteration, where end includes
+	// the device drain (the measured per-batch training time).
+	IterSpans [][2]float64
+}
+
+// IterationTimes returns the per-batch training time of each iteration.
+func (t *Trace) IterationTimes() []float64 {
+	out := make([]float64, len(t.IterSpans))
+	for i, s := range t.IterSpans {
+		out[i] = s[1] - s[0]
+	}
+	return out
+}
+
+// MeanIterationTime returns the average per-batch time.
+func (t *Trace) MeanIterationTime() float64 {
+	ts := t.IterationTimes()
+	if len(ts) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range ts {
+		s += v
+	}
+	return s / float64(len(ts))
+}
+
+// ActiveTime returns the total device-active time (union of kernel spans
+// across streams) for one iteration.
+func (t *Trace) ActiveTime(iter int) float64 {
+	var spans [][2]float64
+	for _, e := range t.Events {
+		if e.Kind == KernelSpan && e.Iter == iter {
+			spans = append(spans, [2]float64{e.Start, e.End})
+		}
+	}
+	return unionLength(spans)
+}
+
+// MeanActiveTime averages ActiveTime over all iterations.
+func (t *Trace) MeanActiveTime() float64 {
+	if t.Iters == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := 0; i < t.Iters; i++ {
+		s += t.ActiveTime(i)
+	}
+	return s / float64(t.Iters)
+}
+
+// Utilization returns mean active time over mean iteration time — the
+// paper's "GPU utilization" metric of Fig. 1.
+func (t *Trace) Utilization() float64 {
+	it := t.MeanIterationTime()
+	if it == 0 {
+		return 0
+	}
+	return t.MeanActiveTime() / it
+}
+
+// unionLength sums the length of the union of intervals.
+func unionLength(spans [][2]float64) float64 {
+	if len(spans) == 0 {
+		return 0
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i][0] < spans[j][0] })
+	total := 0.0
+	curStart, curEnd := spans[0][0], spans[0][1]
+	for _, s := range spans[1:] {
+		if s[0] > curEnd {
+			total += curEnd - curStart
+			curStart, curEnd = s[0], s[1]
+			continue
+		}
+		if s[1] > curEnd {
+			curEnd = s[1]
+		}
+	}
+	return total + (curEnd - curStart)
+}
+
+// BreakdownEntry is one row of the device-time breakdown.
+type BreakdownEntry struct {
+	Op    string
+	Time  float64 // mean device time per iteration, µs
+	Share float64 // fraction of mean iteration time
+}
+
+// Breakdown attributes device-active time to ops (averaged per
+// iteration), appends an "Idle" entry, and sorts descending — the Fig. 5
+// analysis. Ops below minShare are folded into "others".
+func (t *Trace) Breakdown(minShare float64) []BreakdownEntry {
+	if t.Iters == 0 {
+		return nil
+	}
+	perOp := map[string]float64{}
+	for _, e := range t.Events {
+		if e.Kind == KernelSpan {
+			perOp[e.Op] += e.Duration()
+		}
+	}
+	iterTime := t.MeanIterationTime()
+	active := t.MeanActiveTime()
+	var entries []BreakdownEntry
+	others := 0.0
+	for op, tt := range perOp {
+		mean := tt / float64(t.Iters)
+		if iterTime > 0 && mean/iterTime < minShare {
+			others += mean
+			continue
+		}
+		entries = append(entries, BreakdownEntry{Op: op, Time: mean, Share: mean / iterTime})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Time > entries[j].Time })
+	if others > 0 {
+		entries = append(entries, BreakdownEntry{Op: "others", Time: others, Share: others / iterTime})
+	}
+	idle := iterTime - active
+	if idle < 0 {
+		idle = 0
+	}
+	entries = append(entries, BreakdownEntry{Op: "Idle", Time: idle, Share: idle / iterTime})
+	return entries
+}
+
+// OpEvents groups one iteration's events by op occurrence, in host order:
+// each element holds the op span and its runtime calls. This is the
+// event-tree view the overhead extractor walks.
+type OpEvents struct {
+	Span    Event
+	Runtime []Event
+	Kernels []Event
+}
+
+// EventTree returns per-iteration op groupings.
+func (t *Trace) EventTree(iter int) []OpEvents {
+	var spans []Event
+	byNode := map[int]*OpEvents{}
+	for _, e := range t.Events {
+		if e.Iter != iter {
+			continue
+		}
+		if e.Kind == OpSpan {
+			spans = append(spans, e)
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	out := make([]OpEvents, len(spans))
+	for i, s := range spans {
+		out[i] = OpEvents{Span: s}
+		byNode[s.Node] = &out[i]
+	}
+	for _, e := range t.Events {
+		if e.Iter != iter || e.Kind == OpSpan {
+			continue
+		}
+		grp, ok := byNode[e.Node]
+		if !ok {
+			continue
+		}
+		switch e.Kind {
+		case RuntimeCall:
+			grp.Runtime = append(grp.Runtime, e)
+		case KernelSpan:
+			grp.Kernels = append(grp.Kernels, e)
+		}
+	}
+	for i := range out {
+		sort.Slice(out[i].Runtime, func(a, b int) bool { return out[i].Runtime[a].Seq < out[i].Runtime[b].Seq })
+		sort.Slice(out[i].Kernels, func(a, b int) bool { return out[i].Kernels[a].Seq < out[i].Kernels[b].Seq })
+	}
+	return out
+}
