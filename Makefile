@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test race vet bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# bench regenerates the paper artifacts and tracks the calibration
+# speedup pair (serial vs parallel) in the perf trajectory.
+bench:
+	$(GO) test -run xxx -bench . -benchmem .
+
+check: build vet test

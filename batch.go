@@ -1,0 +1,226 @@
+package dlrmperf
+
+import (
+	"fmt"
+	"sync"
+
+	"dlrmperf/internal/engine"
+	"dlrmperf/internal/hw"
+	"dlrmperf/internal/perfmodel"
+)
+
+// Engine is the multi-device prediction service of the facade: one
+// device-keyed cache of calibrated kernel models and overhead
+// databases, serving batches of (workload, batch size, device)
+// prediction requests concurrently. Devices calibrate lazily on first
+// use — at most once each, no matter how many concurrent requests hit
+// them — and calibrations can be exported and re-imported to warm-start
+// other engines ("calibrate once per device, predict anywhere").
+type Engine struct {
+	eng *engine.Engine
+
+	mu      sync.RWMutex
+	devices []string
+}
+
+// EngineConfig customizes NewEngineWith.
+type EngineConfig struct {
+	// Devices restricts the engine (default: all supported devices).
+	Devices []string
+	// Seed drives every derived calibration and measurement stream
+	// (default 2022). Each device mixes its name into the seed, so
+	// devices are decorrelated but individually reproducible.
+	Seed uint64
+	// Workers bounds concurrent calibration jobs and in-flight batch
+	// predictions (default runtime.GOMAXPROCS).
+	Workers int
+	// Calib overrides calibration options (Seed is derived per device).
+	Calib perfmodel.CalibOptions
+}
+
+// NewEngine returns a lazy prediction engine over the given devices
+// (default: all supported devices) with default options. No calibration
+// runs until the first request needs it.
+func NewEngine(devices ...string) (*Engine, error) {
+	return NewEngineWith(EngineConfig{Devices: devices})
+}
+
+// NewEngineWith returns a lazy prediction engine with full control over
+// seed, worker pool, and calibration options.
+func NewEngineWith(cfg EngineConfig) (*Engine, error) {
+	if len(cfg.Devices) == 0 {
+		cfg.Devices = hw.Names()
+	}
+	for _, d := range cfg.Devices {
+		if _, err := hw.ByName(d); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 2022
+	}
+	calib := cfg.Calib
+	calib.IncludeCNN = true
+	return &Engine{
+		eng: engine.New(engine.Options{
+			Seed: cfg.Seed, SaltDeviceSeeds: true,
+			Calib: calib, Workers: cfg.Workers,
+		}),
+		devices: append([]string(nil), cfg.Devices...),
+	}, nil
+}
+
+// Devices returns the devices this engine serves.
+func (e *Engine) Devices() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return append([]string(nil), e.devices...)
+}
+
+// checkServes returns an error when device is outside the engine's
+// device set. It runs before any engine dispatch, so an out-of-set
+// request never triggers a calibration it would then discard.
+func (e *Engine) checkServes(device string) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for _, d := range e.devices {
+		if d == device {
+			return nil
+		}
+	}
+	return fmt.Errorf("dlrmperf: device %q not in engine device set %v", device, e.devices)
+}
+
+// PredictRequest names one prediction: a built-in workload at a batch
+// size on a device.
+type PredictRequest struct {
+	// Workload is a built-in workload name (see Workloads).
+	Workload string
+	// Batch is the training batch size.
+	Batch int64
+	// Device is a supported device name (see Devices).
+	Device string
+	// SharedOverheads charges host overheads from the device's shared
+	// cross-DLRM database instead of the workload's own (the paper's
+	// large-scale prediction mode).
+	SharedOverheads bool
+}
+
+// PredictResult pairs a request with its prediction or error.
+type PredictResult struct {
+	Request    PredictRequest
+	Prediction Prediction
+	Err        error
+}
+
+// Predict serves one request, lazily calibrating the device and
+// collecting its overhead statistics on first use. Requests for
+// devices outside the engine's set fail fast, before any calibration.
+func (e *Engine) Predict(req PredictRequest) PredictResult {
+	if err := e.checkServes(req.Device); err != nil {
+		return PredictResult{Request: req, Err: err}
+	}
+	return fromEngine(req, e.eng.Predict(toEngine(req)))
+}
+
+// PredictBatch fans the requests out across the engine's worker pool
+// and returns one result per request, in request order. Results are
+// bit-identical to sequential Predict calls; every device calibrates at
+// most once regardless of how many requests land on it concurrently.
+// Per-request failures (unknown workload, device outside the engine's
+// set) are reported in the failing slot and do not disturb the rest of
+// the batch.
+func (e *Engine) PredictBatch(reqs []PredictRequest) []PredictResult {
+	out := make([]PredictResult, len(reqs))
+	var ereqs []engine.Request
+	var idx []int
+	for i, r := range reqs {
+		if err := e.checkServes(r.Device); err != nil {
+			out[i] = PredictResult{Request: r, Err: err}
+			continue
+		}
+		ereqs = append(ereqs, toEngine(r))
+		idx = append(idx, i)
+	}
+	for j, r := range e.eng.PredictBatch(ereqs) {
+		out[idx[j]] = fromEngine(reqs[idx[j]], r)
+	}
+	return out
+}
+
+func toEngine(req PredictRequest) engine.Request {
+	return engine.Request{
+		Device: req.Device, Workload: req.Workload,
+		Batch: req.Batch, Shared: req.SharedOverheads,
+	}
+}
+
+func fromEngine(req PredictRequest, r engine.Result) PredictResult {
+	res := PredictResult{Request: req, Err: r.Err}
+	if res.Err == nil {
+		res.Prediction = Prediction{
+			E2EUs:    r.Prediction.E2E,
+			ActiveUs: r.Prediction.Active,
+			CPUUs:    r.Prediction.CPUTime,
+		}
+	}
+	return res
+}
+
+// Calibrate eagerly calibrates every device in the engine's set, in
+// parallel, and returns the first error. It is optional — predictions
+// calibrate lazily — but lets a service front-load the expensive work
+// before taking traffic.
+func (e *Engine) Calibrate() error {
+	devices := e.Devices()
+	var wg sync.WaitGroup
+	errs := make([]error, len(devices))
+	for i, d := range devices {
+		wg.Add(1)
+		go func(i int, d string) {
+			defer wg.Done()
+			_, errs[i] = e.eng.Calibration(d)
+		}(i, d)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CalibrationRuns reports how many calibrations actually executed for a
+// device: 1 after first use, 0 before first use or after a warm start.
+func (e *Engine) CalibrationRuns(device string) int {
+	return e.eng.CalibrationRuns(device)
+}
+
+// SaveAssets serializes one device's portable asset set — its
+// calibrated kernel models plus any overhead databases collected so far
+// — calibrating first if needed.
+func (e *Engine) SaveAssets(device string) ([]byte, error) {
+	if err := e.checkServes(device); err != nil {
+		return nil, err
+	}
+	return e.eng.SaveAssets(device)
+}
+
+// LoadAssets warm-starts the engine from a SaveAssets payload: the
+// covered device will never calibrate again in this engine.
+func (e *Engine) LoadAssets(data []byte) error {
+	device, err := e.eng.LoadAssets(data)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, d := range e.devices {
+		if d == device {
+			return nil
+		}
+	}
+	e.devices = append(e.devices, device)
+	return nil
+}

@@ -1,0 +1,171 @@
+package dlrmperf
+
+import (
+	"testing"
+
+	"dlrmperf/internal/kernels"
+	"dlrmperf/internal/microbench"
+	"dlrmperf/internal/mlp"
+	"dlrmperf/internal/perfmodel"
+)
+
+// fastEngineConfig keeps multi-device engine tests quick: eighth-size
+// sweeps and a single tiny network per ML-based kernel family.
+func fastEngineConfig(devices ...string) EngineConfig {
+	sizes := map[kernels.Kind]int{}
+	for k, n := range microbench.DefaultSweepSizes() {
+		sizes[k] = n / 8
+	}
+	return EngineConfig{
+		Devices: devices,
+		Seed:    17,
+		Workers: 4,
+		Calib: perfmodel.CalibOptions{
+			SweepSizes: sizes, Ensemble: 1,
+			MLPConfig: mlp.Config{HiddenLayers: 1, Width: 16, Optimizer: mlp.Adam, LR: 3e-3, Epochs: 10, BatchSize: 64},
+		},
+	}
+}
+
+// batchRequests builds the acceptance matrix: 3 workloads x 2 batch
+// sizes x 2 devices = 12 requests.
+func batchRequests() []PredictRequest {
+	var reqs []PredictRequest
+	for _, d := range []string{V100, P100} {
+		for _, w := range []string{DLRMDefault, DLRMDDP, DLRMMLPerf} {
+			for _, b := range []int64{512, 1024} {
+				reqs = append(reqs, PredictRequest{Workload: w, Batch: b, Device: d})
+			}
+		}
+	}
+	return reqs
+}
+
+// TestPredictBatchAcceptance is the PR's facade-level contract:
+// PredictBatch over >= 12 (workload x device) requests returns exactly
+// the same results as sequential Predict calls, with calibration
+// performed at most once per device.
+func TestPredictBatchAcceptance(t *testing.T) {
+	reqs := batchRequests()
+	if len(reqs) < 12 {
+		t.Fatalf("acceptance matrix too small: %d requests", len(reqs))
+	}
+
+	eng, err := NewEngineWith(fastEngineConfig(V100, P100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := eng.PredictBatch(reqs)
+
+	seq, err := NewEngineWith(fastEngineConfig(V100, P100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range reqs {
+		got := batch[i]
+		if got.Err != nil {
+			t.Fatalf("request %+v failed: %v", r, got.Err)
+		}
+		want := seq.Predict(r)
+		if want.Err != nil {
+			t.Fatalf("sequential %+v failed: %v", r, want.Err)
+		}
+		if got.Prediction != want.Prediction {
+			t.Errorf("request %+v: batch %+v != sequential %+v", r, got.Prediction, want.Prediction)
+		}
+		if got.Prediction.E2EUs <= 0 || got.Prediction.ActiveUs <= 0 {
+			t.Errorf("request %+v: implausible prediction %+v", r, got.Prediction)
+		}
+	}
+
+	for _, d := range []string{V100, P100} {
+		if runs := eng.CalibrationRuns(d); runs != 1 {
+			t.Errorf("%s calibrated %d times under PredictBatch, want 1", d, runs)
+		}
+	}
+	// Larger batches on the same device and workload never predict
+	// faster (equal is legitimate when the host critical path dominates,
+	// as for DLRM_MLPerf at these sizes).
+	for i := 0; i+1 < len(batch); i += 2 {
+		if batch[i+1].Prediction.E2EUs < batch[i].Prediction.E2EUs {
+			t.Errorf("%+v: 2x batch predicts faster (%v < %v)", batch[i+1].Request,
+				batch[i+1].Prediction.E2EUs, batch[i].Prediction.E2EUs)
+		}
+	}
+}
+
+// TestEngineDeviceSetEnforced: requests for devices outside the
+// engine's set fail in their slot; the engine never calibrates them.
+func TestEngineDeviceSetEnforced(t *testing.T) {
+	eng, err := NewEngineWith(fastEngineConfig(V100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := eng.Predict(PredictRequest{Workload: DLRMDefault, Batch: 512, Device: P100})
+	if res.Err == nil {
+		t.Fatal("out-of-set device accepted")
+	}
+	if _, err := NewEngine("A100"); err == nil {
+		t.Fatal("unknown device accepted at construction")
+	}
+}
+
+// TestEngineWarmStartFacade: assets exported from one engine eliminate
+// calibration in another and preserve every prediction bit.
+func TestEngineWarmStartFacade(t *testing.T) {
+	a, err := NewEngineWith(fastEngineConfig(V100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := PredictRequest{Workload: DLRMDefault, Batch: 1024, Device: V100}
+	ra := a.Predict(req)
+	if ra.Err != nil {
+		t.Fatal(ra.Err)
+	}
+	assets, err := a.SaveAssets(V100)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := NewEngineWith(fastEngineConfig(V100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.LoadAssets(assets); err != nil {
+		t.Fatal(err)
+	}
+	rb := b.Predict(req)
+	if rb.Err != nil {
+		t.Fatal(rb.Err)
+	}
+	if ra.Prediction != rb.Prediction {
+		t.Fatalf("warm-started prediction differs: %+v vs %+v", ra.Prediction, rb.Prediction)
+	}
+	if runs := b.CalibrationRuns(V100); runs != 0 {
+		t.Fatalf("warm-started engine calibrated %d times", runs)
+	}
+}
+
+// TestEngineEagerCalibrate: Calibrate() front-loads every device once.
+func TestEngineEagerCalibrate(t *testing.T) {
+	eng, err := NewEngineWith(fastEngineConfig(V100, P100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range eng.Devices() {
+		if runs := eng.CalibrationRuns(d); runs != 1 {
+			t.Errorf("%s calibrated %d times, want 1", d, runs)
+		}
+	}
+	// Predictions after the eager pass are pure cache hits.
+	res := eng.Predict(PredictRequest{Workload: DLRMDefault, Batch: 512, Device: V100})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if runs := eng.CalibrationRuns(V100); runs != 1 {
+		t.Errorf("prediction re-calibrated: runs = %d", runs)
+	}
+}

@@ -18,6 +18,10 @@ import (
 
 	"dlrmperf/internal/experiments"
 	"dlrmperf/internal/hw"
+	"dlrmperf/internal/kernels"
+	"dlrmperf/internal/microbench"
+	"dlrmperf/internal/mlp"
+	"dlrmperf/internal/perfmodel"
 )
 
 var (
@@ -159,6 +163,71 @@ func BenchmarkAblationOverheadPolicy(b *testing.B) {
 			b.Fatal(err)
 		}
 		emit("ablation", experiments.RenderAblation(rows))
+	}
+}
+
+// benchCalibOptions sizes calibration for benchmarking: quarter sweeps
+// and a small ensemble, so serial-vs-parallel wall-clock is measurable
+// without dominating the suite.
+func benchCalibOptions() perfmodel.CalibOptions {
+	sizes := map[kernels.Kind]int{}
+	for k, n := range microbench.DefaultSweepSizes() {
+		sizes[k] = n / 4
+	}
+	return perfmodel.CalibOptions{
+		Seed: 2022, SweepSizes: sizes, Ensemble: 2, IncludeCNN: true,
+		MLPConfig: mlp.Config{HiddenLayers: 2, Width: 48, Optimizer: mlp.Adam, LR: 3e-3, Epochs: 45, BatchSize: 64},
+	}
+}
+
+// BenchmarkCalibrateSerial and BenchmarkCalibrateParallel track the
+// perf trajectory of the concurrent calibration engine: the parallel
+// path fans the per-kernel-family jobs (and ensemble members) out over
+// GOMAXPROCS workers and must produce bit-identical models, so the
+// ratio of these two numbers is the engine's wall-clock speedup.
+func BenchmarkCalibrateSerial(b *testing.B) {
+	p, err := hw.ByName(hw.V100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := benchCalibOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		perfmodel.Calibrate(p.GPU, opt)
+	}
+}
+
+func BenchmarkCalibrateParallel(b *testing.B) {
+	p, err := hw.ByName(hw.V100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := benchCalibOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		perfmodel.CalibrateParallel(p.GPU, opt, 0)
+	}
+}
+
+// BenchmarkPredictBatch measures steady-state batched prediction
+// throughput over a warm engine — the serve loop of
+// cmd/dlrmperf-serve after calibration has been paid once.
+func BenchmarkPredictBatch(b *testing.B) {
+	eng, err := NewEngineWith(fastEngineConfig(V100, P100))
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := batchRequests()
+	if res := eng.PredictBatch(reqs); res[0].Err != nil { // warm the caches
+		b.Fatal(res[0].Err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range eng.PredictBatch(reqs) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
 	}
 }
 

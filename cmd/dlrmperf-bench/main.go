@@ -1,10 +1,17 @@
-// Command dlrmperf-bench runs the kernel microbenchmark sweep for one
-// kernel family on one (simulated) device and writes the dataset as JSON,
-// the Analysis-Track artifact of Fig. 3.
+// Command dlrmperf-bench drives the Analysis Track of Fig. 3.
 //
-// Usage:
+// In the default "sweep" mode it runs the kernel microbenchmark sweep
+// for one kernel family on one (simulated) device and writes the
+// dataset as JSON:
 //
 //	dlrmperf-bench -kernel GEMM -n 2000 -device V100 -o gemm_v100.json
+//
+// In "calibrate" mode it runs the full concurrent calibration engine
+// for a device — every kernel-family job fanned out on the worker pool
+// — prints the Table IV evaluation rows, and optionally exports the
+// portable asset set that warm-starts dlrmperf-serve:
+//
+//	dlrmperf-bench -mode calibrate -device V100 -save v100_assets.json
 package main
 
 import (
@@ -12,51 +19,103 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"text/tabwriter"
 
+	"dlrmperf/internal/engine"
 	"dlrmperf/internal/hw"
 	"dlrmperf/internal/kernels"
 	"dlrmperf/internal/microbench"
+	"dlrmperf/internal/perfmodel"
 )
 
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dlrmperf-bench:", err)
+	os.Exit(1)
+}
+
 func main() {
-	kernel := flag.String("kernel", "GEMM", "kernel kind (GEMM, EL-F, EL-B, concat, memcpy, transpose, tril-F, tril-B, elementwise, conv, batchnorm)")
-	n := flag.Int("n", 1000, "number of shapes to sweep")
+	mode := flag.String("mode", "sweep", "sweep (one kernel family dataset) or calibrate (full engine calibration)")
+	kernel := flag.String("kernel", "GEMM", "sweep mode: kernel kind (GEMM, EL-F, EL-B, concat, memcpy, transpose, tril-F, tril-B, elementwise, conv, batchnorm)")
+	n := flag.Int("n", 1000, "sweep mode: number of shapes to sweep")
 	device := flag.String("device", hw.V100, "device name")
 	seed := flag.Uint64("seed", 2022, "random seed")
-	out := flag.String("o", "", "output JSON path (default: stdout)")
+	workers := flag.Int("workers", 0, "calibrate mode: worker pool size (0 = GOMAXPROCS)")
+	save := flag.String("save", "", "calibrate mode: write the device's portable assets to this path")
+	out := flag.String("o", "", "sweep mode: output JSON path (default: stdout)")
 	flag.Parse()
 
-	p, err := hw.ByName(*device)
+	switch *mode {
+	case "sweep":
+		sweep(*kernel, *n, *device, *seed, *out)
+	case "calibrate":
+		calibrate(*device, *seed, *workers, *save)
+	default:
+		fail(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+// calibrate runs the device's full calibration on the engine's worker
+// pool and prints the Table IV rows.
+func calibrate(device string, seed uint64, workers int, save string) {
+	// IncludeCNN keeps exported assets complete: a warm-started server
+	// must predict CNN workloads too, exactly as a cold engine would.
+	eng := engine.New(engine.Options{
+		Seed: seed, SaltDeviceSeeds: true, Workers: workers,
+		Calib: perfmodel.CalibOptions{IncludeCNN: true},
+	})
+	cal, err := eng.Calibration(device)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(err)
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "model\tGMAE\tmean\tstd\n")
+	for _, e := range cal.Evals {
+		fmt.Fprintf(tw, "%s\t%.2f%%\t%.2f%%\t%.2f%%\n",
+			e.Row, 100*e.Summary.GMAE, 100*e.Summary.Mean, 100*e.Summary.Std)
+	}
+	tw.Flush()
+	if save == "" {
+		return
+	}
+	data, err := eng.SaveAssets(device)
+	if err != nil {
+		fail(err)
+	}
+	if err := os.WriteFile(save, data, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %s assets to %s\n", device, save)
+}
+
+// sweep collects one kernel family's microbenchmark dataset.
+func sweep(kernel string, n int, device string, seed uint64, out string) {
+	p, err := hw.ByName(device)
+	if err != nil {
+		fail(err)
 	}
 	var kind kernels.Kind
 	found := false
 	for _, k := range kernels.Kinds() {
-		if k.String() == *kernel {
+		if k.String() == kernel {
 			kind = k
 			found = true
 		}
 	}
 	if !found {
-		fmt.Fprintf(os.Stderr, "unknown kernel kind %q\n", *kernel)
-		os.Exit(1)
+		fail(fmt.Errorf("unknown kernel kind %q", kernel))
 	}
 
-	ds := microbench.CollectKind(p.GPU, kind, *n, *seed)
+	ds := microbench.CollectKind(p.GPU, kind, n, seed)
 	data, err := json.MarshalIndent(ds, "", "  ")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(err)
 	}
-	if *out == "" {
+	if out == "" {
 		fmt.Println(string(data))
 		return
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fail(err)
 	}
-	fmt.Printf("wrote %d samples of %s on %s to %s\n", len(ds.Samples), kind, p.GPU.Name, *out)
+	fmt.Printf("wrote %d samples of %s on %s to %s\n", len(ds.Samples), kind, p.GPU.Name, out)
 }

@@ -1,0 +1,215 @@
+// Command dlrmperf-serve is the batched multi-device prediction driver:
+// it reads a JSON list of (workload, batch, device) prediction requests,
+// serves them all through one concurrent engine — each device calibrates
+// at most once, lazily — and emits a JSON report. It is the "calibrate
+// once per device, predict anywhere at scale" scenario of the paper run
+// as a single heavy-traffic batch.
+//
+// Usage:
+//
+//	dlrmperf-serve -in requests.json -o report.json
+//	dlrmperf-serve -in requests.json -assets v100.json,p100.json
+//	dlrmperf-serve -gen 24 | dlrmperf-serve -save-assets assets/
+//
+// The request file is a JSON array:
+//
+//	[
+//	  {"workload": "DLRM_default", "batch": 2048, "device": "V100"},
+//	  {"workload": "DLRM_MLPerf",  "batch": 1024, "device": "P100", "shared": true}
+//	]
+//
+// -gen N skips serving and instead writes a round-robin request list
+// covering every workload and device, for smoke tests and benchmarks.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"dlrmperf"
+)
+
+// wireRequest is the on-disk request format.
+type wireRequest struct {
+	Workload string `json:"workload"`
+	Batch    int64  `json:"batch"`
+	Device   string `json:"device"`
+	Shared   bool   `json:"shared,omitempty"`
+}
+
+// wireResult is one row of the report.
+type wireResult struct {
+	wireRequest
+	E2EUs    float64 `json:"e2e_us,omitempty"`
+	ActiveUs float64 `json:"active_us,omitempty"`
+	CPUUs    float64 `json:"cpu_us,omitempty"`
+	Error    string  `json:"error,omitempty"`
+}
+
+// report is the full output document.
+type report struct {
+	Results      []wireResult   `json:"results"`
+	Requests     int            `json:"requests"`
+	Failed       int            `json:"failed"`
+	ElapsedMs    float64        `json:"elapsed_ms"`
+	Calibrations map[string]int `json:"calibrations"`
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dlrmperf-serve:", err)
+	os.Exit(1)
+}
+
+func main() {
+	in := flag.String("in", "-", "request JSON path (- for stdin)")
+	out := flag.String("o", "-", "report JSON path (- for stdout)")
+	seed := flag.Uint64("seed", 2022, "engine seed")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	assets := flag.String("assets", "", "comma-separated warm-start asset files from a previous -save-assets run")
+	saveAssets := flag.String("save-assets", "", "directory to write per-device asset files after serving")
+	gen := flag.Int("gen", 0, "instead of serving, emit N round-robin requests covering every workload and device")
+	flag.Parse()
+
+	if *gen > 0 {
+		generate(*gen, *out)
+		return
+	}
+
+	reqs, err := readRequests(*in)
+	if err != nil {
+		fail(err)
+	}
+	eng, err := dlrmperf.NewEngineWith(dlrmperf.EngineConfig{Seed: *seed, Workers: *workers})
+	if err != nil {
+		fail(err)
+	}
+	for _, path := range strings.Split(*assets, ",") {
+		if path = strings.TrimSpace(path); path == "" {
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fail(err)
+		}
+		if err := eng.LoadAssets(data); err != nil {
+			fail(fmt.Errorf("loading %s: %w", path, err))
+		}
+	}
+
+	preqs := make([]dlrmperf.PredictRequest, len(reqs))
+	for i, r := range reqs {
+		preqs[i] = dlrmperf.PredictRequest{
+			Workload: r.Workload, Batch: r.Batch, Device: r.Device, SharedOverheads: r.Shared,
+		}
+	}
+	start := time.Now()
+	results := eng.PredictBatch(preqs)
+	elapsed := time.Since(start)
+
+	rep := report{
+		Requests:     len(reqs),
+		ElapsedMs:    float64(elapsed.Microseconds()) / 1000,
+		Calibrations: map[string]int{},
+	}
+	for i, res := range results {
+		row := wireResult{wireRequest: reqs[i]}
+		if res.Err != nil {
+			row.Error = res.Err.Error()
+			rep.Failed++
+		} else {
+			row.E2EUs = res.Prediction.E2EUs
+			row.ActiveUs = res.Prediction.ActiveUs
+			row.CPUUs = res.Prediction.CPUUs
+		}
+		rep.Results = append(rep.Results, row)
+	}
+	for _, d := range eng.Devices() {
+		if n := eng.CalibrationRuns(d); n > 0 {
+			rep.Calibrations[d] = n
+		}
+	}
+
+	if *saveAssets != "" {
+		if err := os.MkdirAll(*saveAssets, 0o755); err != nil {
+			fail(err)
+		}
+		for d := range rep.Calibrations {
+			data, err := eng.SaveAssets(d)
+			if err != nil {
+				fail(err)
+			}
+			name := strings.ReplaceAll(d, " ", "_") + ".json"
+			if err := os.WriteFile(filepath.Join(*saveAssets, name), data, 0o644); err != nil {
+				fail(err)
+			}
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	if err := writeOut(*out, append(data, '\n')); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "served %d requests (%d failed) in %.1f ms, calibrations: %v\n",
+		rep.Requests, rep.Failed, rep.ElapsedMs, rep.Calibrations)
+}
+
+// generate writes a round-robin request list covering every workload on
+// every device across a spread of batch sizes.
+func generate(n int, out string) {
+	batches := []int64{512, 1024, 2048, 4096}
+	var reqs []wireRequest
+	devices := dlrmperf.Devices()
+	workloads := dlrmperf.Workloads()
+	for i := 0; i < n; i++ {
+		reqs = append(reqs, wireRequest{
+			Workload: workloads[i%len(workloads)],
+			Device:   devices[(i/len(workloads))%len(devices)],
+			Batch:    batches[(i/(len(workloads)*len(devices)))%len(batches)],
+		})
+	}
+	data, err := json.MarshalIndent(reqs, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	if err := writeOut(out, append(data, '\n')); err != nil {
+		fail(err)
+	}
+}
+
+func readRequests(path string) ([]wireRequest, error) {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var reqs []wireRequest
+	if err := json.Unmarshal(data, &reqs); err != nil {
+		return nil, fmt.Errorf("parsing requests: %w", err)
+	}
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("no requests in %s", path)
+	}
+	return reqs, nil
+}
+
+func writeOut(path string, data []byte) error {
+	if path == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

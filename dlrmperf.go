@@ -22,6 +22,7 @@ import (
 
 	"dlrmperf/internal/kernels"
 
+	"dlrmperf/internal/engine"
 	"dlrmperf/internal/graph"
 	"dlrmperf/internal/hw"
 	"dlrmperf/internal/models"
@@ -61,6 +62,7 @@ func Workloads() []string {
 type config struct {
 	seed       uint64
 	gridSearch bool
+	workers    int
 	calib      perfmodel.CalibOptions
 }
 
@@ -84,8 +86,16 @@ func WithCalibration(opts perfmodel.CalibOptions) Option {
 	return func(c *config) { c.calib = opts }
 }
 
+// WithWorkers bounds the calibration worker pool (default:
+// runtime.GOMAXPROCS). Any worker count yields bit-identical models.
+func WithWorkers(n int) Option {
+	return func(c *config) { c.workers = n }
+}
+
 // Pipeline owns the calibrated kernel performance models for one device —
-// the reusable "assets" of the paper's prediction track.
+// the reusable "assets" of the paper's prediction track. Calibration
+// goes through the concurrent engine; the pipeline itself only keeps
+// the resulting assets.
 type Pipeline struct {
 	platform hw.Platform
 	cal      *perfmodel.Calibration
@@ -93,7 +103,10 @@ type Pipeline struct {
 
 // NewPipeline calibrates kernel performance models for the named device
 // by sweeping microbenchmarks on the simulated hardware and fitting the
-// paper's heuristic and ML-based models.
+// paper's heuristic and ML-based models. The per-kernel-family
+// calibration jobs run concurrently on the engine's worker pool; the
+// fitted models are bit-identical to a serial calibration of the same
+// seed.
 func NewPipeline(device string, opts ...Option) (*Pipeline, error) {
 	p, err := hw.ByName(device)
 	if err != nil {
@@ -109,7 +122,12 @@ func NewPipeline(device string, opts ...Option) (*Pipeline, error) {
 	}
 	calOpts.UseGridSearch = calOpts.UseGridSearch || cfg.gridSearch
 	calOpts.IncludeCNN = true
-	return &Pipeline{platform: p, cal: perfmodel.Calibrate(p.GPU, calOpts)}, nil
+	eng := engine.New(engine.Options{Seed: calOpts.Seed, Calib: calOpts, Workers: cfg.workers})
+	cal, err := eng.Calibration(device)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{platform: p, cal: cal}, nil
 }
 
 // Device returns the pipeline's device name.

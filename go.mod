@@ -1,0 +1,3 @@
+module dlrmperf
+
+go 1.24

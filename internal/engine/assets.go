@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"dlrmperf/internal/overhead"
+	"dlrmperf/internal/perfmodel"
+)
+
+// wireAssets is the serialized per-device asset set: the calibrated
+// kernel-model registry plus whatever overhead databases were collected
+// — everything the paper's prediction track needs, so a fleet of
+// prediction servers can warm-start from one calibration run.
+type wireAssets struct {
+	Device    string                     `json:"device"`
+	Registry  json.RawMessage            `json:"registry"`
+	Overheads map[string]json.RawMessage `json:"overheads,omitempty"` // workload -> DB
+	Shared    json.RawMessage            `json:"shared,omitempty"`
+}
+
+// SaveAssets serializes the device's portable assets, calibrating first
+// if the device has not been calibrated yet. Overhead databases are
+// included as collected so far; they rebuild lazily on load if absent.
+func (e *Engine) SaveAssets(device string) ([]byte, error) {
+	cal, err := e.Calibration(device)
+	if err != nil {
+		return nil, err
+	}
+	reg, err := perfmodel.SaveRegistry(cal.Registry)
+	if err != nil {
+		return nil, err
+	}
+	w := wireAssets{Device: device, Registry: reg, Overheads: map[string]json.RawMessage{}}
+
+	dbs := map[string]*overhead.DB{}
+	e.mu.Lock()
+	prefix := "db/" + device + "/"
+	for k, db := range e.dbs {
+		if strings.HasPrefix(k, prefix) {
+			dbs[strings.TrimPrefix(k, prefix)] = db
+		}
+	}
+	sharedDB := e.shared["shared/"+device]
+	e.mu.Unlock()
+
+	for name, db := range dbs {
+		raw, err := db.Marshal()
+		if err != nil {
+			return nil, err
+		}
+		w.Overheads[name] = raw
+	}
+	if sharedDB != nil {
+		if w.Shared, err = sharedDB.Marshal(); err != nil {
+			return nil, err
+		}
+	}
+	return json.MarshalIndent(w, "", " ")
+}
+
+// LoadAssets warm-starts the engine from a SaveAssets payload and
+// returns the device it covers: subsequent predictions for that device
+// skip calibration (and skip profiling for every included overhead DB).
+func (e *Engine) LoadAssets(data []byte) (string, error) {
+	var w wireAssets
+	if err := json.Unmarshal(data, &w); err != nil {
+		return "", fmt.Errorf("engine: parsing assets: %w", err)
+	}
+	if w.Device == "" {
+		return "", fmt.Errorf("engine: assets missing device name")
+	}
+	reg, err := perfmodel.LoadRegistry(w.Registry)
+	if err != nil {
+		return "", fmt.Errorf("engine: loading registry: %w", err)
+	}
+	e.Install(w.Device, &perfmodel.Calibration{Registry: reg})
+	for name, raw := range w.Overheads {
+		db, err := overhead.Load(raw)
+		if err != nil {
+			return "", fmt.Errorf("engine: loading %s overheads: %w", name, err)
+		}
+		e.InstallOverheads(w.Device, name, db)
+	}
+	if len(w.Shared) > 0 {
+		db, err := overhead.Load(w.Shared)
+		if err != nil {
+			return "", fmt.Errorf("engine: loading shared overheads: %w", err)
+		}
+		e.mu.Lock()
+		e.shared["shared/"+w.Device] = db
+		e.mu.Unlock()
+	}
+	return w.Device, nil
+}

@@ -1,0 +1,363 @@
+// Package engine is the concurrent calibration and prediction core of
+// the reproduction: a device-keyed cache of the paper's two portable
+// asset classes — calibrated kernel-model registries and host-overhead
+// databases — behind a "calibrate once per device, predict anywhere"
+// API.
+//
+// Assets are built lazily on first use. Concurrent requests for the
+// same asset are deduplicated singleflight-style, so a burst of
+// predictions against an uncalibrated device triggers exactly one
+// calibration; everyone else blocks on it and shares the result.
+// Calibration itself fans its per-kernel-family jobs out on a bounded
+// worker pool (perfmodel.CalibrateParallel), and PredictBatch fans
+// independent (workload, batch, device) requests out the same way.
+// Everything stays bit-deterministic in the engine seed: per-device
+// streams are derived as Seed + xrand.HashString(device), so no result
+// depends on arrival order or scheduling.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dlrmperf/internal/hw"
+	"dlrmperf/internal/models"
+	"dlrmperf/internal/overhead"
+	"dlrmperf/internal/perfmodel"
+	"dlrmperf/internal/predict"
+	"dlrmperf/internal/sim"
+	"dlrmperf/internal/xrand"
+	"dlrmperf/internal/xsync"
+)
+
+// DeviceSalt is the per-device stream salt mixed into derived seeds so
+// every device calibrates and measures from its own decorrelated
+// stream. It is pinned to xrand.HashString: changing it re-seeds every
+// historical figure.
+func DeviceSalt(device string) uint64 { return xrand.HashString(device) }
+
+// Options configures an Engine.
+type Options struct {
+	// Seed is the base seed of every derived stream. Zero is a valid
+	// seed and is passed through untouched — callers wanting a default
+	// (the facade uses 2022) apply it themselves.
+	Seed uint64
+	// SaltDeviceSeeds mixes xrand.HashString(device) into each device's
+	// calibration seed, giving every device its own decorrelated stream.
+	// Leave false to calibrate a device with the raw Seed (the
+	// single-device facade pipeline's historical behavior).
+	SaltDeviceSeeds bool
+	// Calib is the per-device calibration template; its Seed field is
+	// overridden per device.
+	Calib perfmodel.CalibOptions
+	// DLRMBatches are the batch sizes pooled into DLRM overhead
+	// databases (default 512..4096).
+	DLRMBatches []int64
+	// CNNBatches are the CNN batch sizes (default 16/32/64).
+	CNNBatches []int64
+	// Iters is the measured-run iteration count (default 30).
+	Iters int
+	// Workers bounds concurrent calibration jobs and batched
+	// predictions (default runtime.GOMAXPROCS).
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if len(o.DLRMBatches) == 0 {
+		o.DLRMBatches = []int64{512, 1024, 2048, 4096}
+	}
+	if len(o.CNNBatches) == 0 {
+		o.CNNBatches = []int64{16, 32, 64}
+	}
+	if o.Iters == 0 {
+		o.Iters = 30
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Engine owns the device-keyed asset cache.
+type Engine struct {
+	opts   Options
+	flight group
+	// calGate serializes whole-device calibrations, so concurrent first
+	// uses of *different* devices queue instead of stacking full worker
+	// pools on top of each other: total in-flight calibration work
+	// stays bounded by Workers. Per-device dedup is the singleflight's
+	// job; this bounds the cross-device case.
+	calGate sync.Mutex
+
+	mu        sync.Mutex
+	cals      map[string]*perfmodel.Calibration // device -> calibration
+	runs      map[string]*sim.Result            // device/model/batch/profiled -> run
+	dbs       map[string]*overhead.DB           // device/model -> pooled overhead DB
+	shared    map[string]*overhead.DB           // device -> shared DLRM DB
+	models    map[string]*models.Model          // model/batch -> built graph
+	calibRuns map[string]int                    // device -> calibrations actually executed
+}
+
+// New returns an empty engine; no calibration runs until an asset is
+// first requested.
+func New(opts Options) *Engine {
+	return &Engine{
+		opts:      opts.withDefaults(),
+		cals:      map[string]*perfmodel.Calibration{},
+		runs:      map[string]*sim.Result{},
+		dbs:       map[string]*overhead.DB{},
+		shared:    map[string]*overhead.DB{},
+		models:    map[string]*models.Model{},
+		calibRuns: map[string]int{},
+	}
+}
+
+// Options returns the resolved options.
+func (e *Engine) Options() Options { return e.opts }
+
+// seedFor derives the calibration seed of one device.
+func (e *Engine) seedFor(device string) uint64 {
+	if e.opts.SaltDeviceSeeds {
+		return e.opts.Seed + DeviceSalt(device)
+	}
+	return e.opts.Seed
+}
+
+// runSeed derives the measured-run seed of one (device, batch, profiled)
+// combination. The formula is shared with the historical experiments
+// suite so every figure reproduces unchanged.
+func (e *Engine) runSeed(device string, batch int64, profiled bool) uint64 {
+	s := e.opts.Seed*3 + DeviceSalt(device) + uint64(batch)
+	if profiled {
+		s += 17
+	}
+	return s
+}
+
+// memo runs the cache-then-singleflight-then-cache dance for one keyed
+// asset: hit the memo map, else share one execution of build among
+// concurrent callers and store its result.
+func memo[T any](e *Engine, table map[string]T, key string, build func() (T, error)) (T, error) {
+	e.mu.Lock()
+	v, ok := table[key]
+	e.mu.Unlock()
+	if ok {
+		return v, nil
+	}
+	got, err := e.flight.Do(key, func() (any, error) {
+		e.mu.Lock()
+		v, ok := table[key]
+		e.mu.Unlock()
+		if ok {
+			return v, nil
+		}
+		v, err := build()
+		if err != nil {
+			var zero T
+			return zero, err
+		}
+		e.mu.Lock()
+		table[key] = v
+		e.mu.Unlock()
+		return v, nil
+	})
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return got.(T), nil
+}
+
+// Calibration returns the device's calibrated kernel models, running
+// the parallel calibration on first use. Concurrent first uses
+// calibrate once.
+func (e *Engine) Calibration(device string) (*perfmodel.Calibration, error) {
+	return memo(e, e.cals, "cal/"+device, func() (*perfmodel.Calibration, error) {
+		p, err := hw.ByName(device)
+		if err != nil {
+			return nil, err
+		}
+		opt := e.opts.Calib
+		opt.Seed = e.seedFor(device)
+		e.calGate.Lock()
+		cal := perfmodel.CalibrateParallel(p.GPU, opt, e.opts.Workers)
+		e.calGate.Unlock()
+		e.mu.Lock()
+		e.calibRuns[device]++
+		e.mu.Unlock()
+		return cal, nil
+	})
+}
+
+// Install seeds the device cache with an already-calibrated (or
+// deserialized) asset, so later requests skip calibration — the
+// warm-start path.
+func (e *Engine) Install(device string, cal *perfmodel.Calibration) {
+	e.mu.Lock()
+	e.cals["cal/"+device] = cal
+	e.mu.Unlock()
+}
+
+// InstallOverheads seeds the (device, workload) overhead cache.
+func (e *Engine) InstallOverheads(device, workload string, db *overhead.DB) {
+	e.mu.Lock()
+	e.dbs["db/"+device+"/"+workload] = db
+	e.mu.Unlock()
+}
+
+// CalibrationRuns reports how many calibrations actually executed for a
+// device — at most 1 unless the cache was dropped; 0 after a warm
+// start. It exists so callers (and tests) can observe singleflight
+// dedup.
+func (e *Engine) CalibrationRuns(device string) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.calibRuns[device]
+}
+
+// Model returns the memoized built workload graph.
+func (e *Engine) Model(name string, batch int64) (*models.Model, error) {
+	key := fmt.Sprintf("model/%s/%d", name, batch)
+	return memo(e, e.models, key, func() (*models.Model, error) {
+		return models.Build(name, batch)
+	})
+}
+
+// Run returns the memoized measured (or profiled) simulated run of
+// model at batch on device.
+func (e *Engine) Run(device, model string, batch int64, profiled bool) (*sim.Result, error) {
+	key := fmt.Sprintf("run/%s/%s/%d/%v", device, model, batch, profiled)
+	return memo(e, e.runs, key, func() (*sim.Result, error) {
+		p, err := hw.ByName(device)
+		if err != nil {
+			return nil, err
+		}
+		m, err := e.Model(model, batch)
+		if err != nil {
+			return nil, err
+		}
+		return sim.Run(m.Graph, sim.Config{
+			Platform: p, Seed: e.runSeed(device, batch, profiled),
+			Warmup: 5, Iters: e.opts.Iters, Profile: profiled, Workload: model,
+		}), nil
+	})
+}
+
+// BatchesFor returns the evaluation batch sizes of a model family.
+func (e *Engine) BatchesFor(model string) []int64 {
+	switch model {
+	case models.NameResNet50, models.NameInceptionV3:
+		return e.opts.CNNBatches
+	case models.NameTransformer:
+		return []int64{64, 128, 256}
+	}
+	return e.opts.DLRMBatches
+}
+
+// OverheadDB returns the per-workload host-overhead database for one
+// model on one device, pooled over the family's evaluation batch sizes,
+// profiling lazily on first use.
+func (e *Engine) OverheadDB(device, model string) (*overhead.DB, error) {
+	return memo(e, e.dbs, "db/"+device+"/"+model, func() (*overhead.DB, error) {
+		c := overhead.NewCollector()
+		for _, b := range e.BatchesFor(model) {
+			r, err := e.Run(device, model, b, true)
+			if err != nil {
+				return nil, err
+			}
+			c.Add(r.Trace)
+		}
+		return c.Finish(), nil
+	})
+}
+
+// SharedOverheadDB pools overhead samples across all DLRM workloads on
+// a device — the paper's shared database for large-scale prediction.
+func (e *Engine) SharedOverheadDB(device string) (*overhead.DB, error) {
+	return memo(e, e.shared, "shared/"+device, func() (*overhead.DB, error) {
+		c := overhead.NewCollector()
+		for _, model := range models.DLRMNames() {
+			for _, b := range e.opts.DLRMBatches {
+				r, err := e.Run(device, model, b, true)
+				if err != nil {
+					return nil, err
+				}
+				c.Add(r.Trace)
+			}
+		}
+		return c.Finish(), nil
+	})
+}
+
+// Predictor builds the paper's predictor for a device with the given
+// overhead database, calibrating on first use.
+func (e *Engine) Predictor(device string, db *overhead.DB) (*predict.Predictor, error) {
+	cal, err := e.Calibration(device)
+	if err != nil {
+		return nil, err
+	}
+	return predict.New(cal.Registry, db), nil
+}
+
+// Request is one unit of batched prediction work: predict one built-in
+// workload at one batch size on one device.
+type Request struct {
+	Device   string `json:"device"`
+	Workload string `json:"workload"`
+	Batch    int64  `json:"batch"`
+	// Shared selects the device's shared cross-DLRM overhead database
+	// instead of the workload's own.
+	Shared bool `json:"shared,omitempty"`
+}
+
+// Key is a stable identity for logs and reports.
+func (r Request) Key() string {
+	return fmt.Sprintf("%s/%s/%d", r.Device, r.Workload, r.Batch)
+}
+
+// Result pairs a request with its prediction.
+type Result struct {
+	Request    Request
+	Prediction predict.Prediction
+	Err        error
+}
+
+// Predict serves one request, building any missing assets on the way.
+func (e *Engine) Predict(req Request) Result {
+	res := Result{Request: req}
+	cal, err := e.Calibration(req.Device)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	var db *overhead.DB
+	if req.Shared {
+		db, err = e.SharedOverheadDB(req.Device)
+	} else {
+		db, err = e.OverheadDB(req.Device, req.Workload)
+	}
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	m, err := e.Model(req.Workload, req.Batch)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.Prediction, res.Err = predict.New(cal.Registry, db).Predict(m.Graph)
+	return res
+}
+
+// PredictBatch fans the requests out across the worker pool and returns
+// one result per request, in request order. Results are identical to
+// calling Predict sequentially; each device still calibrates at most
+// once no matter how many requests land on it concurrently.
+func (e *Engine) PredictBatch(reqs []Request) []Result {
+	out := make([]Result, len(reqs))
+	xsync.ForEachN(len(reqs), e.opts.Workers, func(i int) {
+		out[i] = e.Predict(reqs[i])
+	})
+	return out
+}

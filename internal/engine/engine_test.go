@@ -1,0 +1,177 @@
+package engine
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"dlrmperf/internal/hw"
+	"dlrmperf/internal/kernels"
+	"dlrmperf/internal/microbench"
+	"dlrmperf/internal/mlp"
+	"dlrmperf/internal/models"
+	"dlrmperf/internal/perfmodel"
+)
+
+// tinyOptions keeps engine tests fast: eighth-size sweeps, a single
+// tiny network per family, two DLRM batch sizes, short measured runs.
+func tinyOptions(seed uint64) Options {
+	sizes := map[kernels.Kind]int{}
+	for k, n := range microbench.DefaultSweepSizes() {
+		sizes[k] = n / 8
+	}
+	return Options{
+		Seed:            seed,
+		SaltDeviceSeeds: true,
+		Iters:           10,
+		DLRMBatches:     []int64{256, 512},
+		Workers:         4,
+		Calib: perfmodel.CalibOptions{
+			SweepSizes: sizes, Ensemble: 1,
+			MLPConfig: mlp.Config{HiddenLayers: 1, Width: 16, Optimizer: mlp.Adam, LR: 3e-3, Epochs: 10, BatchSize: 64},
+		},
+	}
+}
+
+// TestCalibrationSingleFlight is the cache contract: a burst of
+// concurrent first uses of one device runs exactly one calibration and
+// every caller shares it.
+func TestCalibrationSingleFlight(t *testing.T) {
+	e := New(tinyOptions(7))
+	const n = 8
+	cals := make([]*perfmodel.Calibration, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cals[i], errs[i] = e.Calibration(hw.V100)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if cals[i] != cals[0] {
+			t.Fatal("concurrent callers got different calibrations")
+		}
+	}
+	if got := e.CalibrationRuns(hw.V100); got != 1 {
+		t.Fatalf("calibrations executed = %d, want 1", got)
+	}
+	// A later request is a pure cache hit.
+	if _, err := e.Calibration(hw.V100); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.CalibrationRuns(hw.V100); got != 1 {
+		t.Fatalf("cache hit re-calibrated: runs = %d", got)
+	}
+}
+
+func testRequests() []Request {
+	var reqs []Request
+	for _, w := range []string{models.NameDLRMDefault, models.NameDLRMDDP} {
+		for _, b := range []int64{256, 512} {
+			reqs = append(reqs, Request{Device: hw.V100, Workload: w, Batch: b})
+		}
+	}
+	reqs = append(reqs, Request{Device: hw.V100, Workload: models.NameDLRMDefault, Batch: 512, Shared: true})
+	return reqs
+}
+
+// TestPredictBatchMatchesSequential: fanning requests across the pool
+// must not change a single bit of any prediction relative to serving
+// them one at a time on a fresh engine.
+func TestPredictBatchMatchesSequential(t *testing.T) {
+	reqs := testRequests()
+
+	batch := New(tinyOptions(7)).PredictBatch(reqs)
+	seq := make([]Result, len(reqs))
+	serial := New(tinyOptions(7))
+	for i, r := range reqs {
+		seq[i] = serial.Predict(r)
+	}
+
+	for i := range reqs {
+		if batch[i].Err != nil || seq[i].Err != nil {
+			t.Fatalf("request %v errored: batch=%v seq=%v", reqs[i], batch[i].Err, seq[i].Err)
+		}
+		if !reflect.DeepEqual(batch[i].Prediction, seq[i].Prediction) {
+			t.Fatalf("request %v: batch prediction %+v != sequential %+v",
+				reqs[i], batch[i].Prediction, seq[i].Prediction)
+		}
+	}
+}
+
+// TestPredictBatchDeterministicRepeat: repeated batches over a warm
+// cache return identical results.
+func TestPredictBatchDeterministicRepeat(t *testing.T) {
+	e := New(tinyOptions(7))
+	reqs := testRequests()
+	a := e.PredictBatch(reqs)
+	b := e.PredictBatch(reqs)
+	for i := range reqs {
+		if !reflect.DeepEqual(a[i].Prediction, b[i].Prediction) {
+			t.Fatalf("request %v: repeat changed prediction", reqs[i])
+		}
+	}
+	if got := e.CalibrationRuns(hw.V100); got != 1 {
+		t.Fatalf("two batches ran %d calibrations, want 1", got)
+	}
+}
+
+// TestWarmStartAssets: SaveAssets from one engine warm-starts another,
+// which then predicts identically without ever calibrating.
+func TestWarmStartAssets(t *testing.T) {
+	a := New(tinyOptions(7))
+	req := Request{Device: hw.V100, Workload: models.NameDLRMDefault, Batch: 512}
+	ra := a.Predict(req)
+	if ra.Err != nil {
+		t.Fatal(ra.Err)
+	}
+	data, err := a.SaveAssets(hw.V100)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := New(tinyOptions(7))
+	device, err := b.LoadAssets(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if device != hw.V100 {
+		t.Fatalf("assets device = %q", device)
+	}
+	rb := b.Predict(req)
+	if rb.Err != nil {
+		t.Fatal(rb.Err)
+	}
+	if !reflect.DeepEqual(ra.Prediction, rb.Prediction) {
+		t.Fatalf("warm-started prediction differs: %+v vs %+v", ra.Prediction, rb.Prediction)
+	}
+	if got := b.CalibrationRuns(hw.V100); got != 0 {
+		t.Fatalf("warm-started engine calibrated %d times, want 0", got)
+	}
+}
+
+// TestPredictErrorsAreLocal: a bad request reports its error in its
+// slot without failing the rest of the batch.
+func TestPredictErrorsAreLocal(t *testing.T) {
+	e := New(tinyOptions(7))
+	res := e.PredictBatch([]Request{
+		{Device: "H100", Workload: models.NameDLRMDefault, Batch: 256},
+		{Device: hw.V100, Workload: "no_such_model", Batch: 256},
+		{Device: hw.V100, Workload: models.NameDLRMDefault, Batch: 256},
+	})
+	if res[0].Err == nil {
+		t.Error("unknown device did not error")
+	}
+	if res[1].Err == nil {
+		t.Error("unknown workload did not error")
+	}
+	if res[2].Err != nil {
+		t.Errorf("valid request failed: %v", res[2].Err)
+	}
+}

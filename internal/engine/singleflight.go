@@ -1,0 +1,59 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+)
+
+// call is one in-flight execution of a keyed function.
+type call struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// group is a minimal singleflight: concurrent Do calls with the same key
+// share a single execution of fn, so N goroutines asking for the same
+// device's calibration pay for exactly one calibration. Unlike
+// golang.org/x/sync/singleflight (not vendored here), completed keys are
+// forgotten immediately — memoization is the caller's job.
+type group struct {
+	mu    sync.Mutex
+	calls map[string]*call
+}
+
+// Do runs fn once per key among concurrent callers and hands every
+// caller the same result.
+func (g *group) Do(key string, fn func() (any, error)) (any, error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = map[string]*call{}
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.val, c.err
+	}
+	c := &call{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	// Clean up in a defer so a panicking fn still releases waiters and
+	// frees the key instead of wedging it forever; waiters see an error
+	// while the panic propagates on the executing goroutine.
+	defer func() {
+		r := recover()
+		if r != nil {
+			c.err = fmt.Errorf("engine: singleflight %q panicked: %v", key, r)
+		}
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		close(c.done)
+		if r != nil {
+			panic(r)
+		}
+	}()
+	c.val, c.err = fn()
+	return c.val, c.err
+}

@@ -4,21 +4,23 @@
 // paper's artifact as a text table; the root-level benchmarks and
 // cmd/experiments regenerate everything from here.
 //
-// A Suite memoizes the expensive assets — kernel-model calibrations,
-// measured workload runs, overhead databases — so that drivers compose
-// without recomputation and every result is deterministic in the seed.
+// A Suite is a thin view over the concurrent calibration engine
+// (internal/engine), which owns the expensive assets — kernel-model
+// calibrations, measured workload runs, overhead databases — so that
+// drivers compose without recomputation, concurrent drivers never
+// calibrate a device twice, and every result is deterministic in the
+// seed.
 package experiments
 
 import (
-	"fmt"
-	"sync"
-
+	"dlrmperf/internal/engine"
 	"dlrmperf/internal/hw"
 	"dlrmperf/internal/models"
 	"dlrmperf/internal/overhead"
 	"dlrmperf/internal/perfmodel"
 	"dlrmperf/internal/predict"
 	"dlrmperf/internal/sim"
+	"dlrmperf/internal/xrand"
 )
 
 // Options scopes a Suite.
@@ -57,184 +59,74 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Suite memoizes experiment assets.
+// Suite runs experiment drivers against a shared asset engine.
 type Suite struct {
 	opts Options
-
-	mu     sync.Mutex
-	cals   map[string]*perfmodel.Calibration // device -> calibration (with CNN)
-	runs   map[string]*sim.Result            // device/model/batch/profiled -> run
-	dbs    map[string]*overhead.DB           // device/model -> individual overhead DB
-	shared map[string]*overhead.DB           // device -> shared DB
-	models map[string]*models.Model          // model/batch -> built graph
+	eng  *engine.Engine
 }
 
 // NewSuite returns a Suite with the given options.
 func NewSuite(opts Options) *Suite {
+	o := opts.withDefaults()
+	calib := o.Calib
+	// Always include the CNN extension so Fig. 10 composes.
+	calib.IncludeCNN = true
 	return &Suite{
-		opts:   opts.withDefaults(),
-		cals:   map[string]*perfmodel.Calibration{},
-		runs:   map[string]*sim.Result{},
-		dbs:    map[string]*overhead.DB{},
-		shared: map[string]*overhead.DB{},
-		models: map[string]*models.Model{},
+		opts: o,
+		eng: engine.New(engine.Options{
+			Seed:            o.Seed,
+			SaltDeviceSeeds: true,
+			Calib:           calib,
+			DLRMBatches:     o.DLRMBatches,
+			CNNBatches:      o.CNNBatches,
+			Iters:           o.Iters,
+		}),
 	}
 }
 
 // Options returns the resolved options.
 func (s *Suite) Options() Options { return s.opts }
 
+// Engine exposes the suite's asset engine, so callers can warm-start it
+// or share it with a prediction service.
+func (s *Suite) Engine() *engine.Engine { return s.eng }
+
+// devSalt is the per-device seed salt (shared with the engine so every
+// historical figure reproduces).
+func devSalt(device string) uint64 { return xrand.HashString(device) }
+
 // model returns the memoized built model.
 func (s *Suite) model(name string, batch int64) (*models.Model, error) {
-	key := fmt.Sprintf("%s/%d", name, batch)
-	s.mu.Lock()
-	m, ok := s.models[key]
-	s.mu.Unlock()
-	if ok {
-		return m, nil
-	}
-	m, err := models.Build(name, batch)
-	if err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	s.models[key] = m
-	s.mu.Unlock()
-	return m, nil
+	return s.eng.Model(name, batch)
 }
 
 // Calibration returns the memoized kernel-model calibration for a device
 // (always including the CNN extension so Fig. 10 composes).
 func (s *Suite) Calibration(device string) (*perfmodel.Calibration, error) {
-	s.mu.Lock()
-	c, ok := s.cals[device]
-	s.mu.Unlock()
-	if ok {
-		return c, nil
-	}
-	p, err := hw.ByName(device)
-	if err != nil {
-		return nil, err
-	}
-	opt := s.opts.Calib
-	opt.Seed = s.opts.Seed + devSalt(device)
-	opt.IncludeCNN = true
-	c = perfmodel.Calibrate(p.GPU, opt)
-	s.mu.Lock()
-	s.cals[device] = c
-	s.mu.Unlock()
-	return c, nil
-}
-
-func devSalt(device string) uint64 {
-	var h uint64 = 1469598103934665603
-	for i := 0; i < len(device); i++ {
-		h = (h ^ uint64(device[i])) * 1099511628211
-	}
-	return h
+	return s.eng.Calibration(device)
 }
 
 // Run returns the memoized measured (or profiled) run of model at batch
 // on device.
 func (s *Suite) Run(device, model string, batch int64, profiled bool) (*sim.Result, error) {
-	key := fmt.Sprintf("%s/%s/%d/%v", device, model, batch, profiled)
-	s.mu.Lock()
-	r, ok := s.runs[key]
-	s.mu.Unlock()
-	if ok {
-		return r, nil
-	}
-	p, err := hw.ByName(device)
-	if err != nil {
-		return nil, err
-	}
-	m, err := s.model(model, batch)
-	if err != nil {
-		return nil, err
-	}
-	seed := s.opts.Seed*3 + devSalt(device) + uint64(batch)
-	if profiled {
-		seed += 17
-	}
-	r = sim.Run(m.Graph, sim.Config{
-		Platform: p, Seed: seed, Warmup: 5, Iters: s.opts.Iters,
-		Profile: profiled, Workload: model,
-	})
-	s.mu.Lock()
-	s.runs[key] = r
-	s.mu.Unlock()
-	return r, nil
-}
-
-// batchesFor returns the evaluation batch sizes of a model family.
-func (s *Suite) batchesFor(model string) []int64 {
-	switch model {
-	case models.NameResNet50, models.NameInceptionV3:
-		return s.opts.CNNBatches
-	case models.NameTransformer:
-		return []int64{64, 128, 256}
-	}
-	return s.opts.DLRMBatches
+	return s.eng.Run(device, model, batch, profiled)
 }
 
 // OverheadDB returns the individual-workload overhead database for one
 // model on one device, pooled over all evaluated batch sizes (the
 // paper's per-workload overhead statistics).
 func (s *Suite) OverheadDB(device, model string) (*overhead.DB, error) {
-	key := device + "/" + model
-	s.mu.Lock()
-	db, ok := s.dbs[key]
-	s.mu.Unlock()
-	if ok {
-		return db, nil
-	}
-	c := overhead.NewCollector()
-	for _, b := range s.batchesFor(model) {
-		r, err := s.Run(device, model, b, true)
-		if err != nil {
-			return nil, err
-		}
-		c.Add(r.Trace)
-	}
-	db = c.Finish()
-	s.mu.Lock()
-	s.dbs[key] = db
-	s.mu.Unlock()
-	return db, nil
+	return s.eng.OverheadDB(device, model)
 }
 
 // SharedOverheadDB pools overhead samples across all DLRM workloads on a
 // device (the shared_E2E variant of Fig. 9).
 func (s *Suite) SharedOverheadDB(device string) (*overhead.DB, error) {
-	s.mu.Lock()
-	db, ok := s.shared[device]
-	s.mu.Unlock()
-	if ok {
-		return db, nil
-	}
-	c := overhead.NewCollector()
-	for _, model := range models.DLRMNames() {
-		for _, b := range s.opts.DLRMBatches {
-			r, err := s.Run(device, model, b, true)
-			if err != nil {
-				return nil, err
-			}
-			c.Add(r.Trace)
-		}
-	}
-	db = c.Finish()
-	s.mu.Lock()
-	s.shared[device] = db
-	s.mu.Unlock()
-	return db, nil
+	return s.eng.SharedOverheadDB(device)
 }
 
 // Predictor builds the paper's predictor for a device with the given
 // overhead database.
 func (s *Suite) Predictor(device string, db *overhead.DB) (*predict.Predictor, error) {
-	cal, err := s.Calibration(device)
-	if err != nil {
-		return nil, err
-	}
-	return predict.New(cal.Registry, db), nil
+	return s.eng.Predictor(device, db)
 }

@@ -1,11 +1,14 @@
 package perfmodel
 
 import (
+	"runtime"
+
 	"dlrmperf/internal/hw"
 	"dlrmperf/internal/kernels"
 	"dlrmperf/internal/microbench"
 	"dlrmperf/internal/mlp"
 	"dlrmperf/internal/stats"
+	"dlrmperf/internal/xsync"
 )
 
 // CalibOptions controls the Analysis-Track calibration pipeline of
@@ -79,100 +82,176 @@ func (c *Calibration) Eval(row string) stats.ErrorSummary {
 	return stats.ErrorSummary{}
 }
 
-// Calibrate runs the full analysis track for one GPU: sweep, fit, and
-// evaluate every dominating kernel model, returning the prediction-ready
-// registry (with the enhanced embedding model installed, as the paper
-// adopts) and the Table IV rows.
-func Calibrate(gpu hw.GPU, opt CalibOptions) *Calibration {
-	opt = opt.withDefaults()
-	reg := NewRegistry(gpu.Name)
-	cal := &Calibration{Registry: reg}
-	seed := opt.Seed
+// regEntry is one model a calibration job wants installed.
+type regEntry struct {
+	kind  kernels.Kind
+	model KernelModel
+}
 
-	collect := func(kind kernels.Kind) (*microbench.Dataset, *microbench.Dataset) {
+// jobResult is the output of one calibration job: the models to register
+// and the Table IV rows the job evaluated, in the paper's order.
+type jobResult struct {
+	regs  []regEntry
+	evals []KernelEval
+}
+
+// calibJob is one independent unit of the calibration plan: sweep one
+// kernel family, split, fit its model(s), and evaluate them. Every job
+// carries a precomputed seed, so jobs are pure functions of (gpu, opt,
+// seed) and can run in any order — serially or on a worker pool — with
+// bit-identical results. memberWorkers bounds the ensemble-member
+// concurrency inside the job.
+type calibJob struct {
+	row  string
+	seed uint64
+	run  func(seed uint64, memberWorkers int) jobResult
+}
+
+// seedStride is the per-family seed increment of the calibration plan.
+// The stride (rather than, say, a hash of the family name) preserves the
+// exact RNG schedule of the original strictly-serial implementation, so
+// historical calibrations reproduce bit-for-bit.
+const seedStride = 101
+
+// calibrationPlan lays out the per-family jobs in the paper's Table IV
+// order and assigns each its seed up front. Family job i draws from
+// stream opt.Seed + seedStride*(i+1); ensemble member m within a family
+// draws from memberSeed(familySeed, m).
+func calibrationPlan(gpu hw.GPU, opt CalibOptions) []calibJob {
+	var jobs []calibJob
+	seed := opt.Seed
+	add := func(row string, run func(seed uint64, memberWorkers int) jobResult) {
+		seed += seedStride
+		jobs = append(jobs, calibJob{row: row, seed: seed, run: run})
+	}
+
+	collect := func(kind kernels.Kind, seed uint64) (train, test *microbench.Dataset) {
 		n := opt.SweepSizes[kind]
 		if n <= 0 {
 			n = 400
 		}
-		seed += 101
 		ds := microbench.CollectKind(gpu, kind, n, seed)
 		return ds.Split(opt.TrainFrac, seed*31+7)
 	}
 
-	// ML models are trained on roofline-normalized residuals built from
-	// the public spec numbers; the corrected efficiencies live in what
-	// the network learns.
-	fitMLP := func(name string, kind kernels.Kind) {
-		train, test := collect(kind)
-		var m *MLPModel
-		if opt.UseGridSearch {
-			m = SearchMLP(name, train, gpu.PeakFP32, gpu.DRAMBandwidth, opt.Space, opt.Ensemble, seed)
-		} else {
-			m = TrainMLP(name, train, gpu.PeakFP32, gpu.DRAMBandwidth, opt.MLPConfig, opt.Ensemble, seed)
-		}
-		reg.Register(kind, m)
-		cal.Evals = append(cal.Evals, KernelEval{Row: name, Summary: Evaluate(m, test)})
-	}
-
 	// --- Embedding lookup: plain vs enhanced, all vs large tables -----
-	for _, dir := range []struct {
-		kind kernels.Kind
-		tag  string
-	}{
-		{kernels.KindEmbeddingFwd, "EL-F"},
-		{kernels.KindEmbeddingBwd, "EL-B"},
-	} {
-		train, test := collect(dir.kind)
-		large := test.Filter(IsLargeTable)
-		plain := CalibrateEL(dir.tag, gpu, train, false)
-		enhanced := CalibrateEL(dir.tag+"H", gpu, train, true)
-		cal.Evals = append(cal.Evals,
-			KernelEval{Row: dir.tag, Summary: Evaluate(plain, test)},
-			KernelEval{Row: dir.tag + "L", Summary: Evaluate(plain, large)},
-			KernelEval{Row: dir.tag + "H", Summary: Evaluate(enhanced, test)},
-			KernelEval{Row: dir.tag + "HL", Summary: Evaluate(enhanced, large)},
-		)
-		// The paper adopts the enhanced model for E2E prediction.
-		reg.Register(dir.kind, enhanced)
+	elJob := func(kind kernels.Kind, tag string) {
+		add(tag, func(seed uint64, _ int) jobResult {
+			train, test := collect(kind, seed)
+			large := test.Filter(IsLargeTable)
+			plain := CalibrateEL(tag, gpu, train, false)
+			enhanced := CalibrateEL(tag+"H", gpu, train, true)
+			return jobResult{
+				// The paper adopts the enhanced model for E2E prediction.
+				regs: []regEntry{{kind, enhanced}},
+				evals: []KernelEval{
+					{Row: tag, Summary: Evaluate(plain, test)},
+					{Row: tag + "L", Summary: Evaluate(plain, large)},
+					{Row: tag + "H", Summary: Evaluate(enhanced, test)},
+					{Row: tag + "HL", Summary: Evaluate(enhanced, large)},
+				},
+			}
+		})
 	}
 
-	// --- Memory kernels: roofline with corrected bandwidth -------------
-	{
-		train, test := collect(kernels.KindConcat)
-		m := CalibrateRoofline("concat", train, 0)
-		reg.Register(kernels.KindConcat, m)
-		cal.Evals = append(cal.Evals, KernelEval{Row: "concat", Summary: Evaluate(m, test)})
-	}
-	{
-		train, test := collect(kernels.KindMemcpyH2D)
-		m := CalibrateRoofline("memcpy", train, 0)
-		reg.Register(kernels.KindMemcpyH2D, m)
-		cal.Evals = append(cal.Evals, KernelEval{Row: "memcpy", Summary: Evaluate(m, test)})
+	// --- Memory-bound kernels: roofline with corrected bandwidth -------
+	rooflineJob := func(row string, kind kernels.Kind, peak float64) {
+		add(row, func(seed uint64, _ int) jobResult {
+			train, test := collect(kind, seed)
+			m := CalibrateRoofline(row, train, peak)
+			return jobResult{
+				regs:  []regEntry{{kind, m}},
+				evals: []KernelEval{{Row: row, Summary: Evaluate(m, test)}},
+			}
+		})
 	}
 
-	// --- ML-based models -------------------------------------------------
-	fitMLP("GEMM", kernels.KindGEMM)
-	fitMLP("transpose", kernels.KindTranspose)
-	fitMLP("tril-F", kernels.KindTrilFwd)
-	fitMLP("tril-B", kernels.KindTrilBwd)
-
-	// --- Element-wise roofline (not a Table IV row, but required by the
-	// E2E predictor for relu/losses/optimizer kernels) ------------------
-	{
-		train, test := collect(kernels.KindElementwise)
-		m := CalibrateRoofline("elementwise", train, gpu.PeakFP32*0.5)
-		reg.Register(kernels.KindElementwise, m)
-		cal.Evals = append(cal.Evals, KernelEval{Row: "elementwise", Summary: Evaluate(m, test)})
+	// --- ML-based models: trained on roofline-normalized residuals
+	// built from the public spec numbers; the corrected efficiencies live
+	// in what the network learns. -------------------------------------
+	mlpJob := func(name string, kind kernels.Kind) {
+		add(name, func(seed uint64, memberWorkers int) jobResult {
+			train, test := collect(kind, seed)
+			var m *MLPModel
+			if opt.UseGridSearch {
+				m = SearchMLPParallel(name, train, gpu.PeakFP32, gpu.DRAMBandwidth, opt.Space, opt.Ensemble, seed, memberWorkers)
+			} else {
+				m = TrainMLPParallel(name, train, gpu.PeakFP32, gpu.DRAMBandwidth, opt.MLPConfig, opt.Ensemble, seed, memberWorkers)
+			}
+			return jobResult{
+				regs:  []regEntry{{kind, m}},
+				evals: []KernelEval{{Row: name, Summary: Evaluate(m, test)}},
+			}
+		})
 	}
 
+	elJob(kernels.KindEmbeddingFwd, "EL-F")
+	elJob(kernels.KindEmbeddingBwd, "EL-B")
+	rooflineJob("concat", kernels.KindConcat, 0)
+	rooflineJob("memcpy", kernels.KindMemcpyH2D, 0)
+	mlpJob("GEMM", kernels.KindGEMM)
+	mlpJob("transpose", kernels.KindTranspose)
+	mlpJob("tril-F", kernels.KindTrilFwd)
+	mlpJob("tril-B", kernels.KindTrilBwd)
+	// Element-wise is not a Table IV row, but is required by the E2E
+	// predictor for relu/losses/optimizer kernels.
+	rooflineJob("elementwise", kernels.KindElementwise, gpu.PeakFP32*0.5)
 	if opt.IncludeCNN {
-		fitMLP("conv", kernels.KindConv)
-		train, test := collect(kernels.KindBatchNorm)
-		m := CalibrateRoofline("batchnorm", train, 0)
-		reg.Register(kernels.KindBatchNorm, m)
-		cal.Evals = append(cal.Evals, KernelEval{Row: "batchnorm", Summary: Evaluate(m, test)})
+		mlpJob("conv", kernels.KindConv)
+		rooflineJob("batchnorm", kernels.KindBatchNorm, 0)
 	}
+	return jobs
+}
 
+// Calibrate runs the full analysis track for one GPU on the calling
+// goroutine: sweep, fit, and evaluate every dominating kernel model,
+// returning the prediction-ready registry (with the enhanced embedding
+// model installed, as the paper adopts) and the Table IV rows. It is the
+// reference serial path; CalibrateParallel produces bit-identical output
+// on a worker pool.
+func Calibrate(gpu hw.GPU, opt CalibOptions) *Calibration {
+	return calibrate(gpu, opt, 1)
+}
+
+// CalibrateParallel runs the same calibration plan as Calibrate with up
+// to workers per-family jobs in flight (and ensemble members within a
+// family training concurrently). workers <= 0 selects
+// runtime.GOMAXPROCS(0). Because every job owns a precomputed RNG
+// stream, the result is bit-identical to Calibrate regardless of
+// scheduling.
+func CalibrateParallel(gpu hw.GPU, opt CalibOptions, workers int) *Calibration {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return calibrate(gpu, opt, workers)
+}
+
+func calibrate(gpu hw.GPU, opt CalibOptions, workers int) *Calibration {
+	opt = opt.withDefaults()
+	jobs := calibrationPlan(gpu, opt)
+	results := make([]jobResult, len(jobs))
+	// Split the budget between the two levels: family jobs fill the
+	// pool first, and ensemble members only fan out with whatever
+	// multiple of the job count is left (total in-flight work stays
+	// ~bounded by workers instead of workers^2).
+	memberWorkers := workers / len(jobs)
+	if memberWorkers < 1 {
+		memberWorkers = 1
+	}
+	xsync.ForEachN(len(jobs), workers, func(i int) {
+		results[i] = jobs[i].run(jobs[i].seed, memberWorkers)
+	})
+
+	// Merge in plan order so registries and Table IV rows are identical
+	// to the serial path no matter which worker finished first.
+	reg := NewRegistry(gpu.Name)
+	cal := &Calibration{Registry: reg}
+	for _, r := range results {
+		for _, e := range r.regs {
+			reg.Register(e.kind, e.model)
+		}
+		cal.Evals = append(cal.Evals, r.evals...)
+	}
 	return cal
 }
 

@@ -19,6 +19,7 @@ import (
 	"dlrmperf/internal/microbench"
 	"dlrmperf/internal/mlp"
 	"dlrmperf/internal/stats"
+	"dlrmperf/internal/xsync"
 )
 
 // KernelModel predicts the execution time in µs of kernels of one family.
@@ -190,30 +191,67 @@ func residualTargets(ds *microbench.Dataset, base Baseline) ([][]float64, []floa
 	return X, Y
 }
 
+// memberStride decorrelates the RNG streams of ensemble members within
+// one family: member m of a family seeded s trains from s + m*memberStride.
+const memberStride = 104729
+
+// memberSeed derives the training seed of one ensemble member from its
+// family's calibration seed.
+func memberSeed(familySeed uint64, member int) uint64 {
+	return familySeed + uint64(member)*memberStride
+}
+
+// trainEnsemble trains members [from, to) of an ensemble, each with its
+// own derived seed, with at most workers trainings in flight. Members
+// slot into the result by index, so the output is bit-identical
+// regardless of workers.
+func trainEnsemble(X [][]float64, Y []float64, cfg mlp.Config, familySeed uint64, from, to, workers int) []*mlp.Net {
+	if to < from {
+		to = from
+	}
+	nets := make([]*mlp.Net, to-from)
+	xsync.ForEachN(len(nets), workers, func(i int) {
+		nets[i] = mlp.Train(X, Y, cfg, memberSeed(familySeed, from+i))
+	})
+	return nets
+}
+
 // TrainMLP fits an MLPModel ensemble on a dataset with a fixed
 // configuration. basePeak/baseBW parameterize the roofline the residual
 // targets are relative to.
 func TrainMLP(name string, ds *microbench.Dataset, basePeak, baseBW float64, cfg mlp.Config, ensemble int, seed uint64) *MLPModel {
+	return TrainMLPParallel(name, ds, basePeak, baseBW, cfg, ensemble, seed, 1)
+}
+
+// TrainMLPParallel is TrainMLP with up to workers ensemble members
+// training concurrently; the fitted model is bit-identical to TrainMLP.
+func TrainMLPParallel(name string, ds *microbench.Dataset, basePeak, baseBW float64, cfg mlp.Config, ensemble int, seed uint64, workers int) *MLPModel {
 	if ensemble < 1 {
 		ensemble = 1
 	}
 	X, Y := residualTargets(ds, RooflineBaseline(basePeak, baseBW))
 	m := &MLPModel{ModelName: name, Config: cfg, BasePeak: basePeak, BaseBW: baseBW}
-	for i := 0; i < ensemble; i++ {
-		m.Nets = append(m.Nets, mlp.Train(X, Y, cfg, seed+uint64(i)*104729))
-	}
+	m.Nets = trainEnsemble(X, Y, cfg, seed, 0, ensemble, workers)
 	return m
 }
 
 // SearchMLP fits an MLPModel with a hyperparameter grid search
 // (Table II), then trains an ensemble of the winning configuration.
 func SearchMLP(name string, ds *microbench.Dataset, basePeak, baseBW float64, space mlp.SearchSpace, ensemble int, seed uint64) *MLPModel {
+	return SearchMLPParallel(name, ds, basePeak, baseBW, space, ensemble, seed, 1)
+}
+
+// SearchMLPParallel is SearchMLP with up to workers ensemble members
+// training concurrently after the grid search picks the winning
+// configuration; the fitted model is bit-identical to SearchMLP.
+func SearchMLPParallel(name string, ds *microbench.Dataset, basePeak, baseBW float64, space mlp.SearchSpace, ensemble int, seed uint64, workers int) *MLPModel {
+	if ensemble < 1 {
+		ensemble = 1
+	}
 	X, Y := residualTargets(ds, RooflineBaseline(basePeak, baseBW))
 	net, cfg, _ := mlp.GridSearch(X, Y, space, seed)
 	m := &MLPModel{ModelName: name, Config: cfg, BasePeak: basePeak, BaseBW: baseBW, Nets: []*mlp.Net{net}}
-	for i := 1; i < ensemble; i++ {
-		m.Nets = append(m.Nets, mlp.Train(X, Y, cfg, seed+uint64(i)*104729))
-	}
+	m.Nets = append(m.Nets, trainEnsemble(X, Y, cfg, seed, 1, ensemble, workers)...)
 	return m
 }
 

@@ -31,6 +31,19 @@ func (r *Rand) Split() *Rand {
 	return New(r.Uint64() ^ 0x9e3779b97f4a7c15)
 }
 
+// HashString folds a label into a 64-bit stream salt (FNV-1a). It is
+// how named components — one calibration per device, one sweep per
+// kernel family — derive decorrelated seeds from a shared base seed
+// without any ordering dependence: stream(seed, label) = seed +
+// HashString(label).
+func HashString(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h
+}
+
 // Uint64 returns the next 64 random bits.
 func (r *Rand) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

@@ -248,3 +248,21 @@ func TestShuffleKeepsElements(t *testing.T) {
 		t.Fatalf("shuffle changed element sum: %d != %d", got, sum)
 	}
 }
+
+func TestHashStringStableAndDistinct(t *testing.T) {
+	// The value is pinned: engine asset seeds depend on it, so changing
+	// the hash silently re-seeds every per-device calibration stream.
+	if got := HashString("V100"); got != 15833220653259277578 {
+		t.Fatalf("HashString(V100) = %d, want 15833220653259277578", got)
+	}
+	if HashString("") != 1469598103934665603 {
+		t.Fatal("empty-label hash must be the FNV-1a offset basis")
+	}
+	seen := map[uint64]string{}
+	for _, s := range []string{"V100", "TITAN Xp", "P100", "DLRM_default", "DLRM_MLPerf"} {
+		if prev, ok := seen[HashString(s)]; ok {
+			t.Fatalf("hash collision between %q and %q", prev, s)
+		}
+		seen[HashString(s)] = s
+	}
+}

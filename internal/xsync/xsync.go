@@ -1,0 +1,38 @@
+// Package xsync holds the one bounded fan-out idiom the concurrent
+// calibration and prediction layers share, so the pool logic is
+// written (and audited) once.
+package xsync
+
+import "sync"
+
+// ForEachN invokes fn(i) for every i in [0, n), with at most workers
+// invocations in flight. workers <= 1 (or n <= 1) runs everything
+// serially on the calling goroutine. fn must confine its writes to
+// per-index state; ForEachN provides no other synchronization.
+func ForEachN(n, workers int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}

@@ -1,0 +1,45 @@
+package xsync
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachNCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		n := 37
+		hits := make([]int32, n)
+		ForEachN(n, workers, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachNBoundsConcurrency(t *testing.T) {
+	const workers = 4
+	var inFlight, peak int32
+	ForEachN(64, workers, func(int) {
+		cur := atomic.AddInt32(&inFlight, 1)
+		for {
+			p := atomic.LoadInt32(&peak)
+			if cur <= p || atomic.CompareAndSwapInt32(&peak, p, cur) {
+				break
+			}
+		}
+		atomic.AddInt32(&inFlight, -1)
+	})
+	if peak > workers {
+		t.Fatalf("observed %d concurrent invocations, bound is %d", peak, workers)
+	}
+}
+
+func TestForEachNZero(t *testing.T) {
+	called := false
+	ForEachN(0, 8, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for n=0")
+	}
+}
