@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench check
+.PHONY: build test race vet fmt bench serve-demo check
 
 build:
 	$(GO) build ./...
@@ -14,9 +14,18 @@ race:
 vet:
 	$(GO) vet ./...
 
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 # bench regenerates the paper artifacts and tracks the calibration
 # speedup pair (serial vs parallel) in the perf trajectory.
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
 
-check: build vet test
+# serve-demo serves the checked-in mixed single/multi-GPU scenario
+# fixture through one engine and prints the JSON report (cache
+# counters, per-request scaling efficiency).
+serve-demo:
+	$(GO) run ./cmd/dlrmperf-serve -in cmd/dlrmperf-serve/testdata/requests.json
+
+check: build vet fmt test

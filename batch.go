@@ -7,6 +7,7 @@ import (
 	"dlrmperf/internal/engine"
 	"dlrmperf/internal/hw"
 	"dlrmperf/internal/perfmodel"
+	"dlrmperf/internal/scenario"
 )
 
 // Engine is the multi-device prediction service of the facade: one
@@ -36,6 +37,9 @@ type EngineConfig struct {
 	Workers int
 	// Calib overrides calibration options (Seed is derived per device).
 	Calib perfmodel.CalibOptions
+	// ResultCacheSize caps the prediction result cache (default 512
+	// entries; negative disables caching).
+	ResultCacheSize int
 }
 
 // NewEngine returns a lazy prediction engine over the given devices
@@ -65,6 +69,7 @@ func NewEngineWith(cfg EngineConfig) (*Engine, error) {
 		eng: engine.New(engine.Options{
 			Seed: cfg.Seed, SaltDeviceSeeds: true,
 			Calib: calib, Workers: cfg.Workers,
+			ResultCacheSize: cfg.ResultCacheSize,
 		}),
 		devices: append([]string(nil), cfg.Devices...),
 	}, nil
@@ -91,12 +96,14 @@ func (e *Engine) checkServes(device string) error {
 	return fmt.Errorf("dlrmperf: device %q not in engine device set %v", device, e.devices)
 }
 
-// PredictRequest names one prediction: a built-in workload at a batch
-// size on a device.
+// PredictRequest names one prediction: a scenario (by registered name,
+// or a built-in workload plus execution strategy) on a device.
 type PredictRequest struct {
-	// Workload is a built-in workload name (see Workloads).
+	// Workload is a built-in workload name (see Workloads). Ignored
+	// when Scenario is set.
 	Workload string
-	// Batch is the training batch size.
+	// Batch is the global training batch size (0 with Scenario set
+	// selects the scenario's default).
 	Batch int64
 	// Device is a supported device name (see Devices).
 	Device string
@@ -104,13 +111,48 @@ type PredictRequest struct {
 	// cross-DLRM database instead of the workload's own (the paper's
 	// large-scale prediction mode).
 	SharedOverheads bool
+	// Scenario names a registered scenario generator (see Scenarios);
+	// it supplies the workload, table population, and default execution
+	// width.
+	Scenario string
+	// GPUs overrides the execution width: widths above 1 predict
+	// hybrid-parallel training (dense data-parallel, embedding tables
+	// sharded by the planner) across that many identical devices. 0
+	// keeps the scenario's default (1 for plain workload requests).
+	GPUs int
+	// Comm names the interconnect model for multi-GPU requests
+	// ("nvlink" default, "pcie").
+	Comm string
 }
+
+// ScenarioRequest builds a request from a registered scenario name.
+// batch 0 and gpus 0 keep the scenario's defaults.
+func ScenarioRequest(device, scenarioName string, batch int64, gpus int) PredictRequest {
+	return PredictRequest{Device: device, Scenario: scenarioName, Batch: batch, GPUs: gpus}
+}
+
+// Scenarios lists the registered scenario generator names.
+func Scenarios() []string { return scenario.Names() }
 
 // PredictResult pairs a request with its prediction or error.
 type PredictResult struct {
 	Request    PredictRequest
 	Prediction Prediction
-	Err        error
+	// GPUs is the execution width the prediction covers (>= 1).
+	GPUs int
+	// ScalingEfficiency is the retained fraction of linear scaling
+	// (1 for single-GPU results).
+	ScalingEfficiency float64
+	// AllReduceUs and AllToAllUs break out the per-step collective
+	// times of multi-GPU predictions.
+	AllReduceUs, AllToAllUs float64
+	// ShardImbalance is the sharding plan's max/mean - 1 device load
+	// spread (0 when no embedding sharding took place).
+	ShardImbalance float64
+	// CacheHit marks results served from the engine's prediction
+	// result cache.
+	CacheHit bool
+	Err      error
 }
 
 // Predict serves one request, lazily calibrating the device and
@@ -120,7 +162,11 @@ func (e *Engine) Predict(req PredictRequest) PredictResult {
 	if err := e.checkServes(req.Device); err != nil {
 		return PredictResult{Request: req, Err: err}
 	}
-	return fromEngine(req, e.eng.Predict(toEngine(req)))
+	ereq, err := toEngine(req)
+	if err != nil {
+		return PredictResult{Request: req, Err: err}
+	}
+	return fromEngine(req, e.eng.Predict(ereq))
 }
 
 // PredictBatch fans the requests out across the engine's worker pool
@@ -139,7 +185,12 @@ func (e *Engine) PredictBatch(reqs []PredictRequest) []PredictResult {
 			out[i] = PredictResult{Request: r, Err: err}
 			continue
 		}
-		ereqs = append(ereqs, toEngine(r))
+		ereq, err := toEngine(r)
+		if err != nil {
+			out[i] = PredictResult{Request: r, Err: err}
+			continue
+		}
+		ereqs = append(ereqs, ereq)
 		idx = append(idx, i)
 	}
 	for j, r := range e.eng.PredictBatch(ereqs) {
@@ -148,21 +199,60 @@ func (e *Engine) PredictBatch(reqs []PredictRequest) []PredictResult {
 	return out
 }
 
-func toEngine(req PredictRequest) engine.Request {
-	return engine.Request{
-		Device: req.Device, Workload: req.Workload,
-		Batch: req.Batch, Shared: req.SharedOverheads,
+// CacheStats returns the engine's prediction result cache counters: a
+// miss is a request that actually computed, a hit anything served from
+// memory (including joins on an identical in-flight request).
+func (e *Engine) CacheStats() (hits, misses uint64) {
+	return e.eng.CacheStats()
+}
+
+// toEngine resolves the public request into an engine request: named
+// scenarios go through the registry; plain workload requests become
+// single-device (or width-overridden) ad-hoc scenarios.
+func toEngine(req PredictRequest) (engine.Request, error) {
+	var spec scenario.Spec
+	if req.Scenario != "" {
+		s, err := scenario.Build(req.Scenario, req.Batch, req.GPUs)
+		if err != nil {
+			return engine.Request{}, err
+		}
+		spec = s
+	} else {
+		spec = scenario.Single(req.Workload, req.Batch)
+		if req.GPUs > 0 {
+			spec.Devices = req.GPUs
+		}
 	}
+	if req.Comm != "" {
+		spec.Comm = req.Comm
+	}
+	if err := spec.Validate(); err != nil {
+		return engine.Request{}, err
+	}
+	return engine.Request{Device: req.Device, Scenario: spec, Shared: req.SharedOverheads}, nil
 }
 
 func fromEngine(req PredictRequest, r engine.Result) PredictResult {
-	res := PredictResult{Request: req, Err: r.Err}
+	res := PredictResult{
+		Request:           req,
+		GPUs:              r.Request.Scenario.NumDevices(),
+		ScalingEfficiency: r.ScalingEfficiency(),
+		CacheHit:          r.CacheHit,
+		Err:               r.Err,
+	}
 	if res.Err == nil {
 		res.Prediction = Prediction{
 			E2EUs:    r.Prediction.E2E,
 			ActiveUs: r.Prediction.Active,
 			CPUUs:    r.Prediction.CPUTime,
 		}
+	}
+	if r.Multi != nil {
+		res.AllReduceUs = r.Multi.AllReduceUs
+		res.AllToAllUs = r.Multi.AllToAllUs
+	}
+	if r.Plan != nil {
+		res.ShardImbalance = r.Plan.Imbalance()
 	}
 	return res
 }

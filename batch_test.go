@@ -94,6 +94,67 @@ func TestPredictBatchAcceptance(t *testing.T) {
 	}
 }
 
+// TestScenarioRequestFacade: a named multi-GPU scenario serves through
+// the facade with the sharding/scaling/cache surface filled in, and a
+// repeat is a cache hit with an identical prediction.
+func TestScenarioRequestFacade(t *testing.T) {
+	eng, err := NewEngineWith(fastEngineConfig(V100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := ScenarioRequest(V100, "dlrm-uniform-2gpu", 512, 0)
+	r1 := eng.Predict(req)
+	if r1.Err != nil {
+		t.Fatal(r1.Err)
+	}
+	if r1.GPUs != 2 {
+		t.Errorf("GPUs = %d, want 2", r1.GPUs)
+	}
+	if se := r1.ScalingEfficiency; se <= 0 || se >= 1 {
+		t.Errorf("scaling efficiency = %v, want in (0,1)", se)
+	}
+	if r1.AllReduceUs <= 0 || r1.AllToAllUs <= 0 {
+		t.Errorf("collectives not priced: %+v", r1)
+	}
+	if r1.CacheHit {
+		t.Error("first request reported a cache hit")
+	}
+
+	r2 := eng.Predict(req)
+	if r2.Err != nil {
+		t.Fatal(r2.Err)
+	}
+	if !r2.CacheHit {
+		t.Error("repeat request missed the cache")
+	}
+	if r1.Prediction != r2.Prediction || r1.ScalingEfficiency != r2.ScalingEfficiency {
+		t.Errorf("cached result differs: %+v vs %+v", r1, r2)
+	}
+	if hits, misses := eng.CacheStats(); hits != 1 || misses != 1 {
+		t.Errorf("cache stats = %d/%d hit/miss, want 1/1", hits, misses)
+	}
+
+	// A single-GPU request of the same family shares assets but not the
+	// cache entry.
+	single := eng.Predict(PredictRequest{Workload: DLRMDefault, Batch: 512, Device: V100})
+	if single.Err != nil {
+		t.Fatal(single.Err)
+	}
+	if single.GPUs != 1 || single.ScalingEfficiency != 1 {
+		t.Errorf("single-GPU surface = %+v", single)
+	}
+	if single.Prediction.E2EUs <= 0 {
+		t.Errorf("implausible single-GPU E2E %v", single.Prediction.E2EUs)
+	}
+	if got := eng.CalibrationRuns(V100); got != 1 {
+		t.Errorf("scenario mix calibrated %d times, want 1", got)
+	}
+
+	if r := eng.Predict(ScenarioRequest(V100, "no-such-scenario", 0, 0)); r.Err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}
+
 // TestEngineDeviceSetEnforced: requests for devices outside the
 // engine's set fail in their slot; the engine never calibrates them.
 func TestEngineDeviceSetEnforced(t *testing.T) {

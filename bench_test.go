@@ -231,6 +231,37 @@ func BenchmarkPredictBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkPredictBatchCached and BenchmarkPredictBatchCold isolate the
+// prediction result cache: both run the same 12-request batch on an
+// engine whose assets are already warm, but the cold variant disables
+// the result cache so every request re-walks its execution graph. The
+// ratio of the two numbers is the cache's speedup on repeat traffic
+// (identical requests inside a batch, or repeated PredictBatch calls).
+func benchmarkPredictBatch(b *testing.B, cacheSize int) {
+	cfg := fastEngineConfig(V100, P100)
+	cfg.ResultCacheSize = cacheSize
+	eng, err := NewEngineWith(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := batchRequests()
+	if res := eng.PredictBatch(reqs); res[0].Err != nil { // warm assets (and cache, if any)
+		b.Fatal(res[0].Err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range eng.PredictBatch(reqs) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+}
+
+func BenchmarkPredictBatchCached(b *testing.B) { benchmarkPredictBatch(b, 0) }
+
+func BenchmarkPredictBatchCold(b *testing.B) { benchmarkPredictBatch(b, -1) }
+
 // BenchmarkPredictOnce measures the cost of a single Algorithm 1
 // prediction over DLRM_default's graph — the paper notes a full E2E
 // prediction completes in seconds; here it is microseconds because the

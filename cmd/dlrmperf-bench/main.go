@@ -12,6 +12,12 @@
 // portable asset set that warm-starts dlrmperf-serve:
 //
 //	dlrmperf-bench -mode calibrate -device V100 -save v100_assets.json
+//
+// In "scenarios" mode it lists the registered scenario generators with
+// their resolved defaults and, for multi-GPU DLRM scenarios, the
+// sharding planner's device loads and imbalance:
+//
+//	dlrmperf-bench -mode scenarios
 package main
 
 import (
@@ -25,7 +31,9 @@ import (
 	"dlrmperf/internal/hw"
 	"dlrmperf/internal/kernels"
 	"dlrmperf/internal/microbench"
+	"dlrmperf/internal/models"
 	"dlrmperf/internal/perfmodel"
+	"dlrmperf/internal/scenario"
 )
 
 func fail(err error) {
@@ -49,9 +57,46 @@ func main() {
 		sweep(*kernel, *n, *device, *seed, *out)
 	case "calibrate":
 		calibrate(*device, *seed, *workers, *save)
+	case "scenarios":
+		scenarios()
 	default:
 		fail(fmt.Errorf("unknown mode %q", *mode))
 	}
+}
+
+// scenarios lists the registry with resolved defaults; multi-GPU DLRM
+// entries get a static sharding-plan preview.
+func scenarios() {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "scenario\tworkload\tbatch\tgpus\ttables\timbalance\tdescription\n")
+	for _, name := range scenario.Names() {
+		g, _ := scenario.Lookup(name)
+		s, err := scenario.Build(name, 0, 0)
+		if err != nil {
+			fail(err)
+		}
+		imbalance := "-"
+		tables := s.Tables
+		if cfg, err := models.DLRMConfigFor(s.Workload, s.Batch); err == nil {
+			if len(tables) == 0 {
+				tables = scenario.TablesOf(cfg)
+			}
+			if s.NumDevices() > 1 {
+				plan, err := scenario.PlanShards(tables, cfg.EmbDim, s.NumDevices())
+				if err != nil {
+					fail(err)
+				}
+				imbalance = fmt.Sprintf("%.1f%%", 100*plan.Imbalance())
+			}
+		}
+		nTables := "-"
+		if len(tables) > 0 {
+			nTables = fmt.Sprintf("%d", len(tables))
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%s\t%s\t%s\n",
+			name, s.Workload, s.Batch, s.NumDevices(), nTables, imbalance, g.Description)
+	}
+	tw.Flush()
 }
 
 // calibrate runs the device's full calibration on the engine's worker

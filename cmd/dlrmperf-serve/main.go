@@ -1,9 +1,11 @@
 // Command dlrmperf-serve is the batched multi-device prediction driver:
-// it reads a JSON list of (workload, batch, device) prediction requests,
-// serves them all through one concurrent engine — each device calibrates
-// at most once, lazily — and emits a JSON report. It is the "calibrate
-// once per device, predict anywhere at scale" scenario of the paper run
-// as a single heavy-traffic batch.
+// it reads a JSON list of scenario prediction requests, serves them all
+// through one concurrent engine — each device calibrates at most once,
+// lazily, and repeated scenarios are served from the engine's result
+// cache — and emits a JSON report. It is the "calibrate once per
+// device, predict anywhere at scale" scenario of the paper run as a
+// single heavy-traffic batch, extended to the §VI multi-GPU future
+// work.
 //
 // Usage:
 //
@@ -11,12 +13,21 @@
 //	dlrmperf-serve -in requests.json -assets v100.json,p100.json
 //	dlrmperf-serve -gen 24 | dlrmperf-serve -save-assets assets/
 //
-// The request file is a JSON array:
+// The request file is a JSON array; each entry names either a built-in
+// workload or a registered scenario, with an optional execution width:
 //
 //	[
 //	  {"workload": "DLRM_default", "batch": 2048, "device": "V100"},
-//	  {"workload": "DLRM_MLPerf",  "batch": 1024, "device": "P100", "shared": true}
+//	  {"workload": "DLRM_MLPerf",  "batch": 1024, "device": "P100", "shared": true},
+//	  {"scenario": "dlrm-criteo",  "batch": 2048, "device": "V100", "gpus": 4},
+//	  {"scenario": "dlrm-uniform-2gpu", "device": "V100", "comm": "pcie"}
 //	]
+//
+// Multi-GPU entries (gpus >= 2, or a *-Ngpu scenario) run the
+// hybrid-parallel path: dense layers data-parallel, embedding tables
+// sharded by the greedy planner, collectives priced by the named comm
+// model. The report carries per-request scaling efficiency and the
+// engine's cache hit/miss counters.
 //
 // -gen N skips serving and instead writes a round-robin request list
 // covering every workload and device, for smoke tests and benchmarks.
@@ -37,19 +48,41 @@ import (
 
 // wireRequest is the on-disk request format.
 type wireRequest struct {
-	Workload string `json:"workload"`
-	Batch    int64  `json:"batch"`
+	Workload string `json:"workload,omitempty"`
+	Scenario string `json:"scenario,omitempty"`
+	Batch    int64  `json:"batch,omitempty"`
 	Device   string `json:"device"`
+	GPUs     int    `json:"gpus,omitempty"`
+	Comm     string `json:"comm,omitempty"`
 	Shared   bool   `json:"shared,omitempty"`
 }
 
 // wireResult is one row of the report.
 type wireResult struct {
 	wireRequest
-	E2EUs    float64 `json:"e2e_us,omitempty"`
-	ActiveUs float64 `json:"active_us,omitempty"`
-	CPUUs    float64 `json:"cpu_us,omitempty"`
-	Error    string  `json:"error,omitempty"`
+	E2EUs             float64 `json:"e2e_us,omitempty"`
+	ActiveUs          float64 `json:"active_us,omitempty"`
+	CPUUs             float64 `json:"cpu_us,omitempty"`
+	GPUsUsed          int     `json:"gpus_used,omitempty"`
+	ScalingEfficiency float64 `json:"scaling_efficiency,omitempty"`
+	AllReduceUs       float64 `json:"allreduce_us,omitempty"`
+	AllToAllUs        float64 `json:"alltoall_us,omitempty"`
+	ShardImbalance    float64 `json:"shard_imbalance,omitempty"`
+	CacheHit          bool    `json:"cache_hit,omitempty"`
+	Error             string  `json:"error,omitempty"`
+}
+
+// reportError is the structured failure entry emitted when the whole
+// batch fails (paired with a non-zero exit).
+type reportError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// cacheStats mirrors the engine's prediction result cache counters.
+type cacheStats struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
 }
 
 // report is the full output document.
@@ -59,6 +92,8 @@ type report struct {
 	Failed       int            `json:"failed"`
 	ElapsedMs    float64        `json:"elapsed_ms"`
 	Calibrations map[string]int `json:"calibrations"`
+	Cache        cacheStats     `json:"cache"`
+	Error        *reportError   `json:"error,omitempty"`
 }
 
 func fail(err error) {
@@ -74,8 +109,15 @@ func main() {
 	assets := flag.String("assets", "", "comma-separated warm-start asset files from a previous -save-assets run")
 	saveAssets := flag.String("save-assets", "", "directory to write per-device asset files after serving")
 	gen := flag.Int("gen", 0, "instead of serving, emit N round-robin requests covering every workload and device")
+	listScenarios := flag.Bool("scenarios", false, "list the registered scenario names and exit")
 	flag.Parse()
 
+	if *listScenarios {
+		for _, name := range dlrmperf.Scenarios() {
+			fmt.Println(name)
+		}
+		return
+	}
 	if *gen > 0 {
 		generate(*gen, *out)
 		return
@@ -105,7 +147,8 @@ func main() {
 	preqs := make([]dlrmperf.PredictRequest, len(reqs))
 	for i, r := range reqs {
 		preqs[i] = dlrmperf.PredictRequest{
-			Workload: r.Workload, Batch: r.Batch, Device: r.Device, SharedOverheads: r.Shared,
+			Workload: r.Workload, Scenario: r.Scenario, Batch: r.Batch,
+			Device: r.Device, GPUs: r.GPUs, Comm: r.Comm, SharedOverheads: r.Shared,
 		}
 	}
 	start := time.Now()
@@ -126,12 +169,25 @@ func main() {
 			row.E2EUs = res.Prediction.E2EUs
 			row.ActiveUs = res.Prediction.ActiveUs
 			row.CPUUs = res.Prediction.CPUUs
+			row.GPUsUsed = res.GPUs
+			row.ScalingEfficiency = res.ScalingEfficiency
+			row.AllReduceUs = res.AllReduceUs
+			row.AllToAllUs = res.AllToAllUs
+			row.ShardImbalance = res.ShardImbalance
+			row.CacheHit = res.CacheHit
 		}
 		rep.Results = append(rep.Results, row)
 	}
 	for _, d := range eng.Devices() {
 		if n := eng.CalibrationRuns(d); n > 0 {
 			rep.Calibrations[d] = n
+		}
+	}
+	rep.Cache.Hits, rep.Cache.Misses = eng.CacheStats()
+	if rep.Failed == rep.Requests {
+		rep.Error = &reportError{
+			Code:    "all_requests_failed",
+			Message: fmt.Sprintf("all %d requests failed; first error: %s", rep.Requests, rep.Results[0].Error),
 		}
 	}
 
@@ -158,8 +214,11 @@ func main() {
 	if err := writeOut(*out, append(data, '\n')); err != nil {
 		fail(err)
 	}
-	fmt.Fprintf(os.Stderr, "served %d requests (%d failed) in %.1f ms, calibrations: %v\n",
-		rep.Requests, rep.Failed, rep.ElapsedMs, rep.Calibrations)
+	fmt.Fprintf(os.Stderr, "served %d requests (%d failed) in %.1f ms, calibrations: %v, cache %d/%d hit/miss\n",
+		rep.Requests, rep.Failed, rep.ElapsedMs, rep.Calibrations, rep.Cache.Hits, rep.Cache.Misses)
+	if rep.Error != nil {
+		fail(fmt.Errorf("%s: %s", rep.Error.Code, rep.Error.Message))
+	}
 }
 
 // generate writes a round-robin request list covering every workload on

@@ -1,8 +1,8 @@
-// Sharding reproduces the Section V-A(c) load-balancing workflow: given
-// a heterogeneous population of embedding tables to split across several
-// GPUs, use the kernel performance model to price each table's lookup
-// and compare sharding schemes by their predicted per-device makespan —
-// no training job ever launches.
+// Sharding reproduces the Section V-A(c) load-balancing workflow on
+// top of the scenario layer's planner: given a heterogeneous population
+// of embedding tables to split across several GPUs, compare the static
+// rows×dim plan against greedy LPT on the kernel model's *predicted*
+// per-table lookup time — no training job ever launches.
 //
 // Run with:
 //
@@ -12,16 +12,11 @@ package main
 import (
 	"fmt"
 	"log"
-	"sort"
 
 	"dlrmperf"
+	"dlrmperf/internal/scenario"
+	"dlrmperf/internal/workload"
 )
-
-// table is one embedding table: row count and per-sample pooling factor.
-type table struct {
-	rows    int64
-	lookups int64
-}
 
 func main() {
 	pipe, err := dlrmperf.NewPipeline(dlrmperf.V100)
@@ -34,74 +29,54 @@ func main() {
 
 	// A production-shaped population: a few enormous, hot tables and a
 	// long tail of small, cold ones.
-	tables := []table{
-		{14_000_000, 64}, {11_000_000, 32}, {8_000_000, 32}, {4_000_000, 16},
-		{1_000_000, 16}, {1_000_000, 10}, {500_000, 10}, {500_000, 8},
-		{200_000, 8}, {200_000, 4}, {100_000, 4}, {100_000, 2},
-		{50_000, 2}, {50_000, 1}, {20_000, 1}, {20_000, 1},
+	tables := []workload.TableSpec{
+		{Rows: 14_000_000, Lookups: 64}, {Rows: 11_000_000, Lookups: 32},
+		{Rows: 8_000_000, Lookups: 32}, {Rows: 4_000_000, Lookups: 16},
+		{Rows: 1_000_000, Lookups: 16}, {Rows: 1_000_000, Lookups: 10},
+		{Rows: 500_000, Lookups: 10}, {Rows: 500_000, Lookups: 8},
+		{Rows: 200_000, Lookups: 8}, {Rows: 200_000, Lookups: 4},
+		{Rows: 100_000, Lookups: 4}, {Rows: 100_000, Lookups: 2},
+		{Rows: 50_000, Lookups: 2}, {Rows: 50_000, Lookups: 1},
+		{Rows: 20_000, Lookups: 1}, {Rows: 20_000, Lookups: 1},
 	}
 
-	cost := func(t table) float64 {
-		us, err := pipe.PredictKernelUs(batch, t.rows, t.lookups, dim)
+	// The co-design cost: the calibrated kernel model's predicted lookup
+	// time per table.
+	cost := func(t workload.TableSpec) float64 {
+		us, err := pipe.PredictKernelUs(batch, t.Rows, t.Lookups, dim)
 		if err != nil {
 			log.Fatal(err)
 		}
 		return us
 	}
 
-	// Scheme 1: contiguous chunks of the size-sorted list.
-	chunked := make([][]table, nDevices)
-	sorted := append([]table(nil), tables...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].rows > sorted[j].rows })
-	per := (len(sorted) + nDevices - 1) / nDevices
-	for i, t := range sorted {
-		chunked[i/per] = append(chunked[i/per], t)
-	}
-
-	// Scheme 2: round-robin.
-	rr := make([][]table, nDevices)
-	for i, t := range tables {
-		rr[i%nDevices] = append(rr[i%nDevices], t)
-	}
-
-	// Scheme 3: greedy LPT on *predicted* cost — the co-design use of the
-	// kernel model.
-	lpt := make([][]table, nDevices)
-	load := make([]float64, nDevices)
-	byCost := append([]table(nil), tables...)
-	sort.Slice(byCost, func(i, j int) bool { return cost(byCost[i]) > cost(byCost[j]) })
-	for _, t := range byCost {
-		best := 0
-		for d := 1; d < nDevices; d++ {
-			if load[d] < load[best] {
-				best = d
-			}
-		}
-		lpt[best] = append(lpt[best], t)
-		load[best] += cost(t)
-	}
-
-	show := func(name string, assignment [][]table) {
-		makespan := 0.0
+	show := func(name string, p scenario.Plan) {
 		fmt.Printf("%-22s", name)
-		for _, devTables := range assignment {
-			t := 0.0
-			for _, tb := range devTables {
-				t += cost(tb)
+		for d := range p.Assignments {
+			us := 0.0
+			for _, t := range p.TablesFor(d, tables) {
+				us += cost(t)
 			}
-			if t > makespan {
-				makespan = t
-			}
-			fmt.Printf("  %6.1fus", t)
+			fmt.Printf("  %6.1fus", us)
 		}
-		fmt.Printf("   makespan %6.1fus\n", makespan)
+		fmt.Printf("   imbalance %5.1f%%\n", 100*p.Imbalance())
+	}
+
+	static, err := scenario.PlanShards(tables, dim, nDevices)
+	if err != nil {
+		log.Fatal(err)
+	}
+	predicted, err := scenario.PlanShardsCost(tables, nDevices, cost)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	fmt.Printf("predicted embedding-lookup time per device (B=%d, D=%d, %d tables):\n\n",
 		batch, dim, len(tables))
-	show("chunked-by-size", chunked)
-	show("round-robin", rr)
-	show("greedy-predicted-LPT", lpt)
+	show("static-rows-x-dim", static)
+	show("greedy-predicted-LPT", predicted)
 	fmt.Println("\nthe LPT scheme balances devices using only model predictions —")
 	fmt.Println("the evaluation the paper describes for multi-GPU embedding sharding.")
+	fmt.Println("the same planner shards tables inside every multi-GPU scenario",
+		"(see dlrmperf.ScenarioRequest and cmd/dlrmperf-serve).")
 }

@@ -1,0 +1,77 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+
+	"dlrmperf/internal/predict"
+	"dlrmperf/internal/scenario"
+)
+
+// cached is the memory-resident value of one served scenario request:
+// everything Predict computes besides the per-call Request/CacheHit
+// envelope. Values are shared between callers and must be treated as
+// read-only.
+type cached struct {
+	pred  predict.Prediction
+	multi *predict.MultiGPUPrediction
+	plan  *scenario.Plan
+}
+
+// resultLRU is a small mutex-guarded LRU keyed by request identity
+// (device + scenario fingerprint + overhead mode). It sits in front of
+// the predict fan-out so repeated requests — inside one PredictBatch or
+// across calls — are served from memory instead of re-walking the
+// execution graph.
+type resultLRU struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val cached
+}
+
+func newResultLRU(capacity int) *resultLRU {
+	return &resultLRU{cap: capacity, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// Get returns the cached value and refreshes its recency.
+func (c *resultLRU) Get(key string) (cached, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return cached{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// Put inserts (or refreshes) a value, evicting the least-recently-used
+// entry when over capacity.
+func (c *resultLRU) Put(key string, v cached) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).val = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: v})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*lruEntry).key)
+	}
+}
+
+// Len reports the resident entry count.
+func (c *resultLRU) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -20,12 +20,14 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"dlrmperf/internal/hw"
 	"dlrmperf/internal/models"
 	"dlrmperf/internal/overhead"
 	"dlrmperf/internal/perfmodel"
 	"dlrmperf/internal/predict"
+	"dlrmperf/internal/scenario"
 	"dlrmperf/internal/sim"
 	"dlrmperf/internal/xrand"
 	"dlrmperf/internal/xsync"
@@ -61,11 +63,18 @@ type Options struct {
 	// Workers bounds concurrent calibration jobs and batched
 	// predictions (default runtime.GOMAXPROCS).
 	Workers int
+	// ResultCacheSize caps the scenario-fingerprint-keyed prediction
+	// result cache (default 512 entries; negative disables the cache —
+	// the cold-path ablation).
+	ResultCacheSize int
 }
 
 func (o Options) withDefaults() Options {
 	if len(o.DLRMBatches) == 0 {
 		o.DLRMBatches = []int64{512, 1024, 2048, 4096}
+	}
+	if o.ResultCacheSize == 0 {
+		o.ResultCacheSize = 512
 	}
 	if len(o.CNNBatches) == 0 {
 		o.CNNBatches = []int64{16, 32, 64}
@@ -95,15 +104,22 @@ type Engine struct {
 	runs      map[string]*sim.Result            // device/model/batch/profiled -> run
 	dbs       map[string]*overhead.DB           // device/model -> pooled overhead DB
 	shared    map[string]*overhead.DB           // device -> shared DLRM DB
-	models    map[string]*models.Model          // model/batch -> built graph
+	models    map[string]*models.Model          // model/batch (or scenario fingerprint) -> built graph
 	calibRuns map[string]int                    // device -> calibrations actually executed
+
+	// results caches finished predictions by request identity; hits and
+	// misses are the observable counters behind CacheStats.
+	results     *resultLRU
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
 }
 
 // New returns an empty engine; no calibration runs until an asset is
 // first requested.
 func New(opts Options) *Engine {
-	return &Engine{
-		opts:      opts.withDefaults(),
+	opts = opts.withDefaults()
+	e := &Engine{
+		opts:      opts,
 		cals:      map[string]*perfmodel.Calibration{},
 		runs:      map[string]*sim.Result{},
 		dbs:       map[string]*overhead.DB{},
@@ -111,6 +127,10 @@ func New(opts Options) *Engine {
 		models:    map[string]*models.Model{},
 		calibRuns: map[string]int{},
 	}
+	if opts.ResultCacheSize > 0 {
+		e.results = newResultLRU(opts.ResultCacheSize)
+	}
+	return e
 }
 
 // Options returns the resolved options.
@@ -300,60 +320,132 @@ func (e *Engine) Predictor(device string, db *overhead.DB) (*predict.Predictor, 
 	return predict.New(cal.Registry, db), nil
 }
 
-// Request is one unit of batched prediction work: predict one built-in
-// workload at one batch size on one device.
+// Request is one unit of batched prediction work: predict one scenario
+// (workload spec + execution strategy) on one device.
 type Request struct {
-	Device   string `json:"device"`
-	Workload string `json:"workload"`
-	Batch    int64  `json:"batch"`
+	Device   string        `json:"device"`
+	Scenario scenario.Spec `json:"scenario"`
 	// Shared selects the device's shared cross-DLRM overhead database
-	// instead of the workload's own.
+	// instead of the workload family's own.
 	Shared bool `json:"shared,omitempty"`
 }
 
-// Key is a stable identity for logs and reports.
-func (r Request) Key() string {
-	return fmt.Sprintf("%s/%s/%d", r.Device, r.Workload, r.Batch)
+// NewRequest wraps a built-in workload at one batch size into a
+// single-device request — the pre-scenario request shape.
+func NewRequest(device, workloadName string, batch int64) Request {
+	return Request{Device: device, Scenario: scenario.Single(workloadName, batch)}
 }
 
-// Result pairs a request with its prediction.
+// Key is the request's cache identity: device, scenario fingerprint,
+// and overhead-database mode.
+func (r Request) Key() string {
+	return fmt.Sprintf("%s/%s/shared=%v", r.Device, r.Scenario.Fingerprint(), r.Shared)
+}
+
+// Result pairs a request with its prediction. For multi-device
+// scenarios Multi carries the communication/scaling breakdown and Plan
+// the embedding-table sharding assignment; both are shared, read-only
+// views when the result came from the cache.
 type Result struct {
 	Request    Request
 	Prediction predict.Prediction
-	Err        error
+	Multi      *predict.MultiGPUPrediction
+	Plan       *scenario.Plan
+	// CacheHit marks results served from the prediction result cache
+	// (including joins on an identical in-flight request).
+	CacheHit bool
+	Err      error
+}
+
+// ScalingEfficiency reports the scenario's retained fraction of linear
+// scaling: 1 for single-device results.
+func (r Result) ScalingEfficiency() float64 {
+	if r.Multi == nil {
+		return 1
+	}
+	return r.Multi.ScalingEfficiency
+}
+
+// CacheStats returns the prediction result cache counters. A miss is a
+// request that actually computed; everything else — LRU hits and joins
+// on an identical in-flight request — counts as a hit.
+func (e *Engine) CacheStats() (hits, misses uint64) {
+	return e.cacheHits.Load(), e.cacheMisses.Load()
+}
+
+// CachedResults reports the resident result-cache entry count.
+func (e *Engine) CachedResults() int {
+	if e.results == nil {
+		return 0
+	}
+	return e.results.Len()
 }
 
 // Predict serves one request, building any missing assets on the way.
+// Results are cached by scenario fingerprint: repeats are served from
+// memory, and identical concurrent requests share one computation.
 func (e *Engine) Predict(req Request) Result {
 	res := Result{Request: req}
-	cal, err := e.Calibration(req.Device)
-	if err != nil {
+	if err := req.Scenario.Validate(); err != nil {
 		res.Err = err
 		return res
 	}
-	var db *overhead.DB
-	if req.Shared {
-		db, err = e.SharedOverheadDB(req.Device)
+	if e.results == nil {
+		c, err := e.predictScenario(req)
+		e.cacheMisses.Add(1)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		return res.fill(c, false)
+	}
+	key := req.Key()
+	if c, ok := e.results.Get(key); ok {
+		e.cacheHits.Add(1)
+		return res.fill(c, true)
+	}
+	executed := false
+	got, err := e.flight.Do("predict/"+key, func() (any, error) {
+		if c, ok := e.results.Get(key); ok {
+			return c, nil
+		}
+		executed = true
+		c, err := e.predictScenario(req)
+		if err != nil {
+			return nil, err
+		}
+		e.results.Put(key, c)
+		return c, nil
+	})
+	if err != nil {
+		if executed {
+			e.cacheMisses.Add(1)
+		}
+		res.Err = err
+		return res
+	}
+	if executed {
+		e.cacheMisses.Add(1)
 	} else {
-		db, err = e.OverheadDB(req.Device, req.Workload)
+		e.cacheHits.Add(1)
 	}
-	if err != nil {
-		res.Err = err
-		return res
-	}
-	m, err := e.Model(req.Workload, req.Batch)
-	if err != nil {
-		res.Err = err
-		return res
-	}
-	res.Prediction, res.Err = predict.New(cal.Registry, db).Predict(m.Graph)
-	return res
+	return res.fill(got.(cached), !executed)
+}
+
+// fill copies a cached computation into the per-call result envelope.
+func (r Result) fill(c cached, hit bool) Result {
+	r.Prediction = c.pred
+	r.Multi = c.multi
+	r.Plan = c.plan
+	r.CacheHit = hit
+	return r
 }
 
 // PredictBatch fans the requests out across the worker pool and returns
 // one result per request, in request order. Results are identical to
 // calling Predict sequentially; each device still calibrates at most
-// once no matter how many requests land on it concurrently.
+// once, and duplicate scenarios compute at most once, no matter how
+// many requests land concurrently.
 func (e *Engine) PredictBatch(reqs []Request) []Result {
 	out := make([]Result, len(reqs))
 	xsync.ForEachN(len(reqs), e.opts.Workers, func(i int) {

@@ -11,6 +11,7 @@ import (
 	"dlrmperf/internal/mlp"
 	"dlrmperf/internal/models"
 	"dlrmperf/internal/perfmodel"
+	"dlrmperf/internal/scenario"
 )
 
 // tinyOptions keeps engine tests fast: eighth-size sweeps, a single
@@ -74,10 +75,12 @@ func testRequests() []Request {
 	var reqs []Request
 	for _, w := range []string{models.NameDLRMDefault, models.NameDLRMDDP} {
 		for _, b := range []int64{256, 512} {
-			reqs = append(reqs, Request{Device: hw.V100, Workload: w, Batch: b})
+			reqs = append(reqs, NewRequest(hw.V100, w, b))
 		}
 	}
-	reqs = append(reqs, Request{Device: hw.V100, Workload: models.NameDLRMDefault, Batch: 512, Shared: true})
+	shared := NewRequest(hw.V100, models.NameDLRMDefault, 512)
+	shared.Shared = true
+	reqs = append(reqs, shared)
 	return reqs
 }
 
@@ -126,7 +129,7 @@ func TestPredictBatchDeterministicRepeat(t *testing.T) {
 // which then predicts identically without ever calibrating.
 func TestWarmStartAssets(t *testing.T) {
 	a := New(tinyOptions(7))
-	req := Request{Device: hw.V100, Workload: models.NameDLRMDefault, Batch: 512}
+	req := NewRequest(hw.V100, models.NameDLRMDefault, 512)
 	ra := a.Predict(req)
 	if ra.Err != nil {
 		t.Fatal(ra.Err)
@@ -161,9 +164,9 @@ func TestWarmStartAssets(t *testing.T) {
 func TestPredictErrorsAreLocal(t *testing.T) {
 	e := New(tinyOptions(7))
 	res := e.PredictBatch([]Request{
-		{Device: "H100", Workload: models.NameDLRMDefault, Batch: 256},
-		{Device: hw.V100, Workload: "no_such_model", Batch: 256},
-		{Device: hw.V100, Workload: models.NameDLRMDefault, Batch: 256},
+		NewRequest("H100", models.NameDLRMDefault, 256),
+		NewRequest(hw.V100, "no_such_model", 256),
+		NewRequest(hw.V100, models.NameDLRMDefault, 256),
 	})
 	if res[0].Err == nil {
 		t.Error("unknown device did not error")
@@ -173,5 +176,128 @@ func TestPredictErrorsAreLocal(t *testing.T) {
 	}
 	if res[2].Err != nil {
 		t.Errorf("valid request failed: %v", res[2].Err)
+	}
+}
+
+// TestResultCacheMissThenHit is the PR's cache contract: the first
+// request computes (one miss), every repeat — sequential or inside one
+// PredictBatch — is served from memory with a bit-identical prediction.
+func TestResultCacheMissThenHit(t *testing.T) {
+	e := New(tinyOptions(7))
+	req := NewRequest(hw.V100, models.NameDLRMDefault, 512)
+
+	r1 := e.Predict(req)
+	if r1.Err != nil {
+		t.Fatal(r1.Err)
+	}
+	if r1.CacheHit {
+		t.Error("first request reported a cache hit")
+	}
+	if hits, misses := e.CacheStats(); hits != 0 || misses != 1 {
+		t.Fatalf("after first request: hits=%d misses=%d, want 0/1", hits, misses)
+	}
+
+	r2 := e.Predict(req)
+	if r2.Err != nil {
+		t.Fatal(r2.Err)
+	}
+	if !r2.CacheHit {
+		t.Error("repeat request missed the cache")
+	}
+	if hits, misses := e.CacheStats(); hits != 1 || misses != 1 {
+		t.Fatalf("after repeat: hits=%d misses=%d, want 1/1", hits, misses)
+	}
+	if !reflect.DeepEqual(r1.Prediction, r2.Prediction) {
+		t.Fatalf("cached prediction differs: %+v vs %+v", r1.Prediction, r2.Prediction)
+	}
+
+	// Duplicates inside one batch compute at most once; a distinct
+	// request adds exactly one miss.
+	other := NewRequest(hw.V100, models.NameDLRMDefault, 256)
+	batch := e.PredictBatch([]Request{req, req, other, req})
+	for i, r := range batch {
+		if r.Err != nil {
+			t.Fatalf("batch slot %d: %v", i, r.Err)
+		}
+	}
+	for _, i := range []int{0, 1, 3} {
+		if !reflect.DeepEqual(batch[i].Prediction, r1.Prediction) {
+			t.Errorf("batch slot %d prediction differs from cached", i)
+		}
+	}
+	if hits, misses := e.CacheStats(); hits != 4 || misses != 2 {
+		t.Fatalf("after batch: hits=%d misses=%d, want 4/2", hits, misses)
+	}
+	if n := e.CachedResults(); n != 2 {
+		t.Fatalf("resident cache entries = %d, want 2", n)
+	}
+}
+
+// TestScenarioMultiGPU: a multi-device scenario routes through the
+// sharding planner and hybrid-parallel predictor — the plan covers
+// every table exactly once, the collectives are priced, and scaling
+// efficiency stays in (0, 1).
+func TestScenarioMultiGPU(t *testing.T) {
+	e := New(tinyOptions(7))
+	spec, err := scenario.Build("dlrm-uniform-2gpu", 512, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Predict(Request{Device: hw.V100, Scenario: spec})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Multi == nil || res.Plan == nil {
+		t.Fatalf("multi-GPU result missing breakdown: multi=%v plan=%v", res.Multi, res.Plan)
+	}
+	if res.Multi.Devices != 2 || len(res.Multi.PerDeviceE2E) != 2 {
+		t.Errorf("device breakdown = %+v, want 2 devices", res.Multi)
+	}
+	if se := res.ScalingEfficiency(); se <= 0 || se >= 1 {
+		t.Errorf("scaling efficiency = %v, want in (0,1)", se)
+	}
+	if res.Multi.AllReduceUs <= 0 || res.Multi.AllToAllUs <= 0 {
+		t.Errorf("collectives not priced: %+v", res.Multi)
+	}
+	seen := map[int]int{}
+	for _, dev := range res.Plan.Assignments {
+		if len(dev) == 0 {
+			t.Error("plan left a device empty")
+		}
+		for _, ti := range dev {
+			seen[ti]++
+		}
+	}
+	if len(seen) != 8 {
+		t.Errorf("plan covers %d of 8 tables", len(seen))
+	}
+	for ti, n := range seen {
+		if n != 1 {
+			t.Errorf("table %d assigned %d times", ti, n)
+		}
+	}
+	if res.Prediction.E2E <= res.Multi.PerDeviceE2E[0] {
+		t.Errorf("E2E %v not above per-device compute %v", res.Prediction.E2E, res.Multi.PerDeviceE2E)
+	}
+
+	// A mixed single+multi batch serves through the same engine with one
+	// calibration, and the repeated multi-GPU request hits the cache.
+	mixed := e.PredictBatch([]Request{
+		NewRequest(hw.V100, models.NameDLRMDefault, 512),
+		{Device: hw.V100, Scenario: spec},
+	})
+	for i, r := range mixed {
+		if r.Err != nil {
+			t.Fatalf("mixed slot %d: %v", i, r.Err)
+		}
+	}
+	if !mixed[1].CacheHit {
+		t.Error("repeated multi-GPU scenario missed the cache")
+	}
+	if !reflect.DeepEqual(mixed[1].Prediction, res.Prediction) {
+		t.Error("cached multi-GPU prediction differs")
+	}
+	if got := e.CalibrationRuns(hw.V100); got != 1 {
+		t.Errorf("mixed batch ran %d calibrations, want 1", got)
 	}
 }

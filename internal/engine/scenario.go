@@ -1,0 +1,160 @@
+package engine
+
+import (
+	"fmt"
+
+	"dlrmperf/internal/graph"
+	"dlrmperf/internal/models"
+	"dlrmperf/internal/overhead"
+	"dlrmperf/internal/predict"
+	"dlrmperf/internal/scenario"
+	"dlrmperf/internal/workload"
+	"dlrmperf/internal/xrand"
+)
+
+// predictScenario computes one request cold: build the scenario's
+// execution graph(s) — which rejects unknown workloads and unplannable
+// shardings *before* any expensive calibration — then acquire the
+// device's assets and run the single-device or hybrid-parallel
+// prediction path.
+func (e *Engine) predictScenario(req Request) (cached, error) {
+	spec := req.Scenario
+	if spec.NumDevices() == 1 {
+		m, err := e.scenarioModel(spec)
+		if err != nil {
+			return cached{}, err
+		}
+		p, err := e.scenarioPredictor(req)
+		if err != nil {
+			return cached{}, err
+		}
+		pred, err := p.Predict(m.Graph)
+		if err != nil {
+			return cached{}, err
+		}
+		return cached{pred: pred}, nil
+	}
+	return e.predictMulti(req)
+}
+
+// scenarioPredictor assembles the device's predictor for a request:
+// calibrated kernel models plus the requested overhead database.
+func (e *Engine) scenarioPredictor(req Request) (*predict.Predictor, error) {
+	cal, err := e.Calibration(req.Device)
+	if err != nil {
+		return nil, err
+	}
+	var db *overhead.DB
+	if req.Shared {
+		db, err = e.SharedOverheadDB(req.Device)
+	} else {
+		db, err = e.OverheadDB(req.Device, req.Scenario.Workload)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return predict.New(cal.Registry, db), nil
+}
+
+// scenarioModel returns the single-device execution graph of a spec;
+// custom table populations are memoized under the scenario fingerprint.
+func (e *Engine) scenarioModel(spec scenario.Spec) (*models.Model, error) {
+	if len(spec.Tables) == 0 {
+		return e.Model(spec.Workload, spec.Batch)
+	}
+	key := "graph/" + spec.Fingerprint()
+	return memo(e, e.models, key, func() (*models.Model, error) {
+		cfg, err := models.DLRMConfigFor(spec.Workload, spec.Batch)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: custom tables need a DLRM family: %w", err)
+		}
+		return models.BuildDLRM(specializeDLRM(cfg, spec.Batch, spec.Tables))
+	})
+}
+
+// specializeDLRM overrides a family template with a table population —
+// the builder models one pooling factor and skew, so heterogeneous
+// populations contribute their means.
+func specializeDLRM(cfg models.DLRMConfig, batch int64, tables []workload.TableSpec) models.DLRMConfig {
+	cfg.Batch = batch
+	cfg.EmbRows = workload.Rows(tables)
+	cfg.Lookups = workload.MeanLookups(tables)
+	cfg.ZipfSkew = workload.MeanSkew(tables)
+	return cfg
+}
+
+// predictMulti prices a hybrid-parallel scenario: dense layers run
+// data-parallel at the per-device batch, the embedding tables are
+// sharded by the greedy planner, and collectives come from the spec's
+// alpha-beta comm model. CNN families degenerate to pure data
+// parallelism (identical per-device graphs, all-reduce only). Graphs
+// and the plan are built before the device's assets so malformed
+// scenarios never trigger a calibration.
+func (e *Engine) predictMulti(req Request) (cached, error) {
+	spec := req.Scenario
+	n := spec.NumDevices()
+	comm, err := predict.CommByName(spec.Comm)
+	if err != nil {
+		return cached{}, err
+	}
+	perDev := (spec.Batch + int64(n) - 1) / int64(n)
+
+	var graphs []*graph.Graph
+	var denseParams, embActBytes int64
+	var plan *scenario.Plan
+	cfg, cfgErr := models.DLRMConfigFor(spec.Workload, spec.Batch)
+	if cfgErr != nil {
+		// Not a DLRM family: pure data parallelism over one shared graph.
+		if len(spec.Tables) > 0 {
+			return cached{}, fmt.Errorf("scenario: custom tables need a DLRM family: %w", cfgErr)
+		}
+		m, err := e.Model(spec.Workload, perDev)
+		if err != nil {
+			return cached{}, err
+		}
+		graphs = make([]*graph.Graph, n)
+		for d := range graphs {
+			graphs[d] = m.Graph
+		}
+		denseParams = m.Params
+	} else {
+		tables := spec.Tables
+		if len(tables) == 0 {
+			tables = scenario.TablesOf(cfg)
+		}
+		pl, err := scenario.PlanShards(tables, cfg.EmbDim, n)
+		if err != nil {
+			return cached{}, err
+		}
+		plan = &pl
+		graphs = make([]*graph.Graph, n)
+		for d := 0; d < n; d++ {
+			shard := pl.TablesFor(d, tables)
+			// Key per-device graphs by shard *content*, so identical
+			// shards (every uniform-table scenario) build one graph.
+			key := fmt.Sprintf("graph/%s/b%d/%016x", spec.Workload, perDev,
+				xrand.HashString(scenario.TablesKey(shard)))
+			m, err := memo(e, e.models, key, func() (*models.Model, error) {
+				return models.BuildDLRM(specializeDLRM(cfg, perDev, shard))
+			})
+			if err != nil {
+				return cached{}, err
+			}
+			graphs[d] = m.Graph
+		}
+		denseParams = cfg.DenseParams()
+		// All-to-all payload per device per direction: each device's
+		// share of the full (B/n, T, D) embedding activation tensor.
+		embActBytes = perDev * int64(len(tables)) * cfg.EmbDim * 4
+	}
+
+	p, err := e.scenarioPredictor(req)
+	if err != nil {
+		return cached{}, err
+	}
+	mp, err := p.PredictSharded(graphs, denseParams, embActBytes, comm)
+	if err != nil {
+		return cached{}, err
+	}
+	return cached{pred: mp.Prediction, multi: &mp, plan: plan}, nil
+}

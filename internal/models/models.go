@@ -68,6 +68,32 @@ func DLRMNames() []string {
 	return []string{NameDLRMDefault, NameDLRMMLPerf, NameDLRMDDP}
 }
 
+// DLRMConfigFor returns the named DLRM family's Table III configuration
+// at the given batch size — the template scenario builders specialize
+// (custom table populations, per-device shards) before BuildDLRM.
+func DLRMConfigFor(name string, batch int64) (DLRMConfig, error) {
+	switch name {
+	case NameDLRMDefault:
+		return DLRMDefaultConfig(batch), nil
+	case NameDLRMMLPerf:
+		return DLRMMLPerfConfig(batch), nil
+	case NameDLRMDDP:
+		return DLRMDDPConfig(batch), nil
+	}
+	return DLRMConfig{}, fmt.Errorf("models: %q is not a DLRM family", name)
+}
+
+// DenseParams returns the dense (MLP) trainable parameter count of the
+// configuration — the all-reduce payload of hybrid-parallel training,
+// identical on every device regardless of embedding sharding.
+func (c DLRMConfig) DenseParams() int64 {
+	var total int64
+	for _, p := range dlrmParamSizes(c) {
+		total += p
+	}
+	return total
+}
+
 // mlpTail holds the saved tensors needed to emit a linear+ReLU layer's
 // backward ops.
 type mlpLayer struct {

@@ -2,6 +2,7 @@ package predict
 
 import (
 	"fmt"
+	"strings"
 
 	"dlrmperf/internal/graph"
 )
@@ -33,6 +34,19 @@ func NVLinkCommModel() CommModel {
 // PCIeCommModel returns a PCIe-class interconnect.
 func PCIeCommModel() CommModel {
 	return CommModel{Alpha: 15, BusBW: 10e3}
+}
+
+// CommByName maps an interconnect name ("nvlink", "pcie"; "" defaults
+// to nvlink) to its alpha-beta model — the wire-format hook for
+// scenario specs.
+func CommByName(name string) (CommModel, error) {
+	switch strings.ToLower(name) {
+	case "", "nvlink":
+		return NVLinkCommModel(), nil
+	case "pcie":
+		return PCIeCommModel(), nil
+	}
+	return CommModel{}, fmt.Errorf("predict: unknown comm model %q", name)
 }
 
 // AllReduce returns the time for a ring all-reduce of nBytes across n
@@ -68,6 +82,10 @@ type MultiGPUPrediction struct {
 	// ScalingEfficiency is singleGPU*N / (N * multiGPU) — the fraction of
 	// linear weak-scaling throughput retained.
 	ScalingEfficiency float64
+	// PerDeviceE2E lists each device's compute-only E2E time (before
+	// collectives). Only populated by PredictSharded, where devices run
+	// heterogeneous shards.
+	PerDeviceE2E []float64 `json:",omitempty"`
 }
 
 // PredictDataParallel predicts the per-batch time of hybrid-parallel
@@ -91,10 +109,57 @@ func (p *Predictor) PredictDataParallel(g *graph.Graph, n int, denseParams, embA
 	if n == 1 {
 		return out, nil
 	}
-	out.AllReduceUs = comm.AllReduce(denseParams*4, n)
-	// All-to-all twice: activations forward, gradients backward.
-	out.AllToAllUs = 2 * comm.AllToAll(embActBytes, n)
+	out.AllReduceUs, out.AllToAllUs = collectives(denseParams, embActBytes, n, comm)
 	out.E2E = single.E2E + out.AllReduceUs + out.AllToAllUs
 	out.ScalingEfficiency = single.E2E / out.E2E
+	return out, nil
+}
+
+// collectives prices one training step's communication. A zero payload
+// means the collective is never launched (a pure data-parallel CNN has
+// no embedding all-to-all), so it costs nothing — not even alpha.
+func collectives(denseParams, embActBytes int64, n int, comm CommModel) (allReduce, allToAll float64) {
+	if denseParams > 0 {
+		allReduce = comm.AllReduce(denseParams*4, n)
+	}
+	if embActBytes > 0 {
+		// All-to-all twice: activations forward, gradients backward.
+		allToAll = 2 * comm.AllToAll(embActBytes, n)
+	}
+	return allReduce, allToAll
+}
+
+// PredictSharded prices hybrid-parallel training where device d runs
+// its own per-device execution graph graphs[d] — each built at the
+// per-device batch size with that device's embedding-table shard (the
+// sharding planner's output). The step time is the slowest device's
+// compute (the makespan the planner minimizes) plus the dense
+// all-reduce and the two embedding all-to-alls; the embedded Prediction
+// carries the bottleneck device's breakdown with E2E lifted to the
+// full-step time. ScalingEfficiency is makespan/step: the fraction of
+// the step not lost to collectives (1 for a single device).
+func (p *Predictor) PredictSharded(graphs []*graph.Graph, denseParams, embActBytes int64, comm CommModel) (MultiGPUPrediction, error) {
+	n := len(graphs)
+	if n < 1 {
+		return MultiGPUPrediction{}, fmt.Errorf("predict: sharded prediction needs at least one device graph")
+	}
+	out := MultiGPUPrediction{Devices: n, ScalingEfficiency: 1}
+	for d, g := range graphs {
+		pred, err := p.Predict(g)
+		if err != nil {
+			return MultiGPUPrediction{}, fmt.Errorf("device %d: %w", d, err)
+		}
+		out.PerDeviceE2E = append(out.PerDeviceE2E, pred.E2E)
+		if d == 0 || pred.E2E > out.Prediction.E2E {
+			out.Prediction = pred
+		}
+	}
+	if n == 1 {
+		return out, nil
+	}
+	makespan := out.Prediction.E2E
+	out.AllReduceUs, out.AllToAllUs = collectives(denseParams, embActBytes, n, comm)
+	out.E2E = makespan + out.AllReduceUs + out.AllToAllUs
+	out.ScalingEfficiency = makespan / out.E2E
 	return out, nil
 }

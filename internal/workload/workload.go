@@ -125,6 +125,46 @@ func UniformTables(n int, rows, lookups int64) []TableSpec {
 	return out
 }
 
+// Rows extracts the per-table cardinalities of a population — the
+// EmbRows field a DLRM graph builder consumes.
+func Rows(tables []TableSpec) []int64 {
+	out := make([]int64, len(tables))
+	for i, t := range tables {
+		out[i] = t.Rows
+	}
+	return out
+}
+
+// MeanLookups returns the population's average pooling factor, rounded
+// and floored at 1 — the single L a fused-lookup graph models when
+// tables disagree.
+func MeanLookups(tables []TableSpec) int64 {
+	if len(tables) == 0 {
+		return 1
+	}
+	var sum int64
+	for _, t := range tables {
+		sum += t.Lookups
+	}
+	l := (sum + int64(len(tables))/2) / int64(len(tables))
+	if l < 1 {
+		l = 1
+	}
+	return l
+}
+
+// MeanSkew returns the population's average Zipf exponent.
+func MeanSkew(tables []TableSpec) float64 {
+	if len(tables) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, t := range tables {
+		sum += t.Skew
+	}
+	return sum / float64(len(tables))
+}
+
 // Locality summarizes the empirical reuse behavior of one table's stream.
 type Locality struct {
 	// Accesses is the number of index samples analyzed.
