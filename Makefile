@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt bench serve-demo check
+.PHONY: build test race vet fmt bench bench-assets serve-demo check
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,12 @@ fmt:
 # speedup pair (serial vs parallel) in the perf trajectory.
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
+
+# bench-assets runs the asset store under eviction pressure: a
+# Zipf-skewed graph request stream swept across store capacities,
+# printing the hit-rate curve with eviction and resident-byte counters.
+bench-assets:
+	$(GO) run ./cmd/dlrmperf-bench -mode assetstore -n 2000
 
 # serve-demo serves the checked-in mixed single/multi-GPU scenario
 # fixture through one engine and prints the JSON report (cache

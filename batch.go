@@ -40,7 +40,24 @@ type EngineConfig struct {
 	// ResultCacheSize caps the prediction result cache (default 512
 	// entries; negative disables caching).
 	ResultCacheSize int
+	// AssetCaps bounds the engine's evictable asset classes (runs,
+	// overhead DBs, graphs). Zero fields select the defaults; negative
+	// fields leave a class unbounded. Calibrations are always pinned.
+	AssetCaps AssetCaps
 }
+
+// AssetCaps bounds the resident entry count of each evictable asset
+// class in the engine's unified store.
+type AssetCaps = engine.AssetCaps
+
+// AssetStats is the engine's per-class asset store report: resident
+// entries against capacity, approximate resident bytes, and lifetime
+// hit/miss/eviction counters for calibrations (pinned), runs, overhead
+// DBs, graphs, and cached results.
+type AssetStats = engine.AssetStats
+
+// AssetClassStats is one class's entry in AssetStats.
+type AssetClassStats = engine.ClassStats
 
 // NewEngine returns a lazy prediction engine over the given devices
 // (default: all supported devices) with default options. No calibration
@@ -70,6 +87,7 @@ func NewEngineWith(cfg EngineConfig) (*Engine, error) {
 			Seed: cfg.Seed, SaltDeviceSeeds: true,
 			Calib: calib, Workers: cfg.Workers,
 			ResultCacheSize: cfg.ResultCacheSize,
+			AssetCaps:       cfg.AssetCaps,
 		}),
 		devices: append([]string(nil), cfg.Devices...),
 	}, nil
@@ -200,15 +218,34 @@ func (e *Engine) PredictBatch(reqs []PredictRequest) []PredictResult {
 }
 
 // CacheStats returns the engine's prediction result cache counters: a
-// miss is a request that actually computed, a hit anything served from
-// memory (including joins on an identical in-flight request).
+// miss is a request that reached the compute path (computed, or joined
+// a computation that failed), a hit anything served from memory
+// (including joins on an identical in-flight request that succeeded).
+// hits + misses equals the requests the engine served; validation
+// rejects are counted by RejectedRequests instead.
 func (e *Engine) CacheStats() (hits, misses uint64) {
 	return e.eng.CacheStats()
 }
 
+// RejectedRequests counts requests the engine rejected at validation,
+// before the compute path and the cache counters.
+func (e *Engine) RejectedRequests() uint64 { return e.eng.RejectedRequests() }
+
+// AssetStats reports the engine's unified asset store: per-class
+// resident counts, capacities, approximate bytes, and
+// hit/miss/eviction counters.
+func (e *Engine) AssetStats() AssetStats { return e.eng.AssetStats() }
+
+// CachedResults reports the resident prediction result cache entries.
+func (e *Engine) CachedResults() int { return e.eng.CachedResults() }
+
 // toEngine resolves the public request into an engine request: named
 // scenarios go through the registry; plain workload requests become
-// single-device (or width-overridden) ad-hoc scenarios.
+// single-device (or width-overridden) ad-hoc scenarios. The resolved
+// spec is deliberately NOT validated here: engine.Predict validates
+// first thing (before any asset work) and tallies failures in
+// RejectedRequests, so validating twice would keep rejects out of the
+// engine's counters and break hits+misses+rejected == dispatched.
 func toEngine(req PredictRequest) (engine.Request, error) {
 	var spec scenario.Spec
 	if req.Scenario != "" {
@@ -225,9 +262,6 @@ func toEngine(req PredictRequest) (engine.Request, error) {
 	}
 	if req.Comm != "" {
 		spec.Comm = req.Comm
-	}
-	if err := spec.Validate(); err != nil {
-		return engine.Request{}, err
 	}
 	return engine.Request{Device: req.Device, Scenario: spec, Shared: req.SharedOverheads}, nil
 }

@@ -153,6 +153,82 @@ func TestScenarioRequestFacade(t *testing.T) {
 	if r := eng.Predict(ScenarioRequest(V100, "no-such-scenario", 0, 0)); r.Err == nil {
 		t.Error("unknown scenario accepted")
 	}
+
+	// Validation failures reach the engine and are tallied as rejects,
+	// outside the hit/miss counters.
+	before, _ := eng.CacheStats()
+	_, beforeMiss := eng.CacheStats()
+	if r := eng.Predict(PredictRequest{Workload: DLRMDefault, Batch: 512, Device: V100, Comm: "pcie"}); r.Err == nil {
+		t.Error("comm on a single-device request accepted")
+	}
+	if got := eng.RejectedRequests(); got != 1 {
+		t.Errorf("RejectedRequests = %d, want 1", got)
+	}
+	if h, m := eng.CacheStats(); h != before || m != beforeMiss {
+		t.Errorf("rejected request leaked into cache counters: %d/%d -> %d/%d", before, beforeMiss, h, m)
+	}
+}
+
+// TestBoundedAssetStoreFacade is the PR's acceptance criterion at the
+// facade: with asset-store capacities smaller than the 12-request
+// acceptance matrix's working set, the batch completes with bounded
+// resident entries (evictions observed, residency at or under cap) and
+// predictions bit-identical to an unbounded engine.
+func TestBoundedAssetStoreFacade(t *testing.T) {
+	reqs := batchRequests()
+
+	cfg := fastEngineConfig(V100, P100)
+	cfg.AssetCaps = AssetCaps{Runs: -1, Overheads: -1, Graphs: -1}
+	unbounded, err := NewEngineWith(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := unbounded.PredictBatch(reqs)
+
+	cfg = fastEngineConfig(V100, P100)
+	cfg.AssetCaps = AssetCaps{Runs: 3, Overheads: 2, Graphs: 3}
+	cfg.ResultCacheSize = 4
+	bounded, err := NewEngineWith(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := bounded.PredictBatch(reqs)
+
+	for i := range reqs {
+		if want[i].Err != nil || got[i].Err != nil {
+			t.Fatalf("request %d errored: unbounded=%v bounded=%v", i, want[i].Err, got[i].Err)
+		}
+		if want[i].Prediction != got[i].Prediction {
+			t.Errorf("request %+v: bounded %+v != unbounded %+v",
+				reqs[i], got[i].Prediction, want[i].Prediction)
+		}
+	}
+
+	s := bounded.AssetStats()
+	var evictions uint64
+	for _, name := range []string{"runs", "overheads", "graphs", "results"} {
+		c := s.Class(name)
+		if c.Capacity > 0 && c.Resident > c.Capacity {
+			t.Errorf("%s resident %d above cap %d", name, c.Resident, c.Capacity)
+		}
+		evictions += c.Evictions
+	}
+	if evictions == 0 {
+		t.Error("bounded engine saw no evictions under a 12-request working set")
+	}
+	if n := bounded.CachedResults(); n > 4 {
+		t.Errorf("CachedResults = %d above result cap 4", n)
+	}
+	if hits, misses := bounded.CacheStats(); hits+misses != uint64(len(reqs)) {
+		t.Errorf("cache invariant broken: %d+%d != %d requests", hits, misses, len(reqs))
+	}
+	// Both devices still calibrated exactly once: the pinned class
+	// shields calibrations from the thrash.
+	for _, d := range []string{V100, P100} {
+		if runs := bounded.CalibrationRuns(d); runs != 1 {
+			t.Errorf("%s calibrated %d times under bounded store, want 1", d, runs)
+		}
+	}
 }
 
 // TestEngineDeviceSetEnforced: requests for devices outside the

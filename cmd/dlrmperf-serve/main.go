@@ -40,6 +40,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
@@ -80,20 +81,24 @@ type reportError struct {
 }
 
 // cacheStats mirrors the engine's prediction result cache counters.
+// hits + misses equals the requests the engine served; rejected counts
+// requests the engine refused at validation.
 type cacheStats struct {
-	Hits   uint64 `json:"hits"`
-	Misses uint64 `json:"misses"`
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Rejected uint64 `json:"rejected"`
 }
 
 // report is the full output document.
 type report struct {
-	Results      []wireResult   `json:"results"`
-	Requests     int            `json:"requests"`
-	Failed       int            `json:"failed"`
-	ElapsedMs    float64        `json:"elapsed_ms"`
-	Calibrations map[string]int `json:"calibrations"`
-	Cache        cacheStats     `json:"cache"`
-	Error        *reportError   `json:"error,omitempty"`
+	Results      []wireResult        `json:"results"`
+	Requests     int                 `json:"requests"`
+	Failed       int                 `json:"failed"`
+	ElapsedMs    float64             `json:"elapsed_ms"`
+	Calibrations map[string]int      `json:"calibrations"`
+	Cache        cacheStats          `json:"cache"`
+	Assets       dlrmperf.AssetStats `json:"assets"`
+	Error        *reportError        `json:"error,omitempty"`
 }
 
 func fail(err error) {
@@ -127,20 +132,62 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	eng, err := dlrmperf.NewEngineWith(dlrmperf.EngineConfig{Seed: *seed, Workers: *workers})
+	rep, err := serve(serveConfig{
+		Engine:     dlrmperf.EngineConfig{Seed: *seed, Workers: *workers},
+		AssetPaths: splitPaths(*assets),
+		SaveAssets: *saveAssets,
+	}, reqs)
 	if err != nil {
 		fail(err)
 	}
-	for _, path := range strings.Split(*assets, ",") {
-		if path = strings.TrimSpace(path); path == "" {
-			continue
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	if err := writeOut(*out, append(data, '\n')); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "served %d requests (%d failed) in %.1f ms, calibrations: %v, cache %d/%d hit/miss\n",
+		rep.Requests, rep.Failed, rep.ElapsedMs, rep.Calibrations, rep.Cache.Hits, rep.Cache.Misses)
+	if rep.Error != nil {
+		fail(fmt.Errorf("%s: %s", rep.Error.Code, rep.Error.Message))
+	}
+}
+
+// serveConfig parameterizes one serve run (the flag surface, testable).
+type serveConfig struct {
+	Engine     dlrmperf.EngineConfig
+	AssetPaths []string
+	// SaveAssets names a directory to write per-device asset files into
+	// after serving ("" disables).
+	SaveAssets string
+}
+
+func splitPaths(csv string) []string {
+	var out []string
+	for _, p := range strings.Split(csv, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
 		}
+	}
+	return out
+}
+
+// serve runs the whole request batch through one engine and assembles
+// the report, optionally warm-starting from asset files and re-saving
+// assets afterwards.
+func serve(cfg serveConfig, reqs []wireRequest) (*report, error) {
+	eng, err := dlrmperf.NewEngineWith(cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
+	for _, path := range cfg.AssetPaths {
 		data, err := os.ReadFile(path)
 		if err != nil {
-			fail(err)
+			return nil, err
 		}
 		if err := eng.LoadAssets(data); err != nil {
-			fail(fmt.Errorf("loading %s: %w", path, err))
+			return nil, fmt.Errorf("loading %s: %w", path, err)
 		}
 	}
 
@@ -155,11 +202,16 @@ func main() {
 	results := eng.PredictBatch(preqs)
 	elapsed := time.Since(start)
 
-	rep := report{
+	rep := &report{
 		Requests:     len(reqs),
 		ElapsedMs:    float64(elapsed.Microseconds()) / 1000,
 		Calibrations: map[string]int{},
 	}
+	// served collects every device that successfully served at least one
+	// request — the set whose assets are worth saving. Keying the save
+	// loop on calibration counts would silently skip warm-started
+	// devices, losing any overhead DBs collected this run.
+	served := map[string]bool{}
 	for i, res := range results {
 		row := wireResult{wireRequest: reqs[i]}
 		if res.Err != nil {
@@ -175,6 +227,7 @@ func main() {
 			row.AllToAllUs = res.AllToAllUs
 			row.ShardImbalance = res.ShardImbalance
 			row.CacheHit = res.CacheHit
+			served[reqs[i].Device] = true
 		}
 		rep.Results = append(rep.Results, row)
 	}
@@ -184,6 +237,8 @@ func main() {
 		}
 	}
 	rep.Cache.Hits, rep.Cache.Misses = eng.CacheStats()
+	rep.Cache.Rejected = eng.RejectedRequests()
+	rep.Assets = eng.AssetStats()
 	if rep.Failed == rep.Requests {
 		rep.Error = &reportError{
 			Code:    "all_requests_failed",
@@ -191,34 +246,27 @@ func main() {
 		}
 	}
 
-	if *saveAssets != "" {
-		if err := os.MkdirAll(*saveAssets, 0o755); err != nil {
-			fail(err)
+	if cfg.SaveAssets != "" {
+		if err := os.MkdirAll(cfg.SaveAssets, 0o755); err != nil {
+			return nil, err
 		}
-		for d := range rep.Calibrations {
+		devices := make([]string, 0, len(served))
+		for d := range served {
+			devices = append(devices, d)
+		}
+		sort.Strings(devices)
+		for _, d := range devices {
 			data, err := eng.SaveAssets(d)
 			if err != nil {
-				fail(err)
+				return nil, err
 			}
 			name := strings.ReplaceAll(d, " ", "_") + ".json"
-			if err := os.WriteFile(filepath.Join(*saveAssets, name), data, 0o644); err != nil {
-				fail(err)
+			if err := os.WriteFile(filepath.Join(cfg.SaveAssets, name), data, 0o644); err != nil {
+				return nil, err
 			}
 		}
 	}
-
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fail(err)
-	}
-	if err := writeOut(*out, append(data, '\n')); err != nil {
-		fail(err)
-	}
-	fmt.Fprintf(os.Stderr, "served %d requests (%d failed) in %.1f ms, calibrations: %v, cache %d/%d hit/miss\n",
-		rep.Requests, rep.Failed, rep.ElapsedMs, rep.Calibrations, rep.Cache.Hits, rep.Cache.Misses)
-	if rep.Error != nil {
-		fail(fmt.Errorf("%s: %s", rep.Error.Code, rep.Error.Message))
-	}
+	return rep, nil
 }
 
 // generate writes a round-robin request list covering every workload on

@@ -35,15 +35,16 @@ func (e *Engine) SaveAssets(device string) ([]byte, error) {
 	w := wireAssets{Device: device, Registry: reg, Overheads: map[string]json.RawMessage{}}
 
 	dbs := map[string]*overhead.DB{}
-	e.mu.Lock()
+	var sharedDB *overhead.DB
 	prefix := "db/" + device + "/"
-	for k, db := range e.dbs {
+	for k, v := range e.store.class(classOverheads).snapshot() {
 		if strings.HasPrefix(k, prefix) {
-			dbs[strings.TrimPrefix(k, prefix)] = db
+			dbs[strings.TrimPrefix(k, prefix)] = v.(*overhead.DB)
+		}
+		if k == "shared/"+device {
+			sharedDB = v.(*overhead.DB)
 		}
 	}
-	sharedDB := e.shared["shared/"+device]
-	e.mu.Unlock()
 
 	for name, db := range dbs {
 		raw, err := db.Marshal()
@@ -88,9 +89,7 @@ func (e *Engine) LoadAssets(data []byte) (string, error) {
 		if err != nil {
 			return "", fmt.Errorf("engine: loading shared overheads: %w", err)
 		}
-		e.mu.Lock()
-		e.shared["shared/"+w.Device] = db
-		e.mu.Unlock()
+		e.store.class(classOverheads).put("shared/"+w.Device, db, approxBytes(db))
 	}
 	return w.Device, nil
 }

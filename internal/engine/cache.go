@@ -3,9 +3,14 @@ package engine
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 
+	"dlrmperf/internal/models"
+	"dlrmperf/internal/overhead"
+	"dlrmperf/internal/perfmodel"
 	"dlrmperf/internal/predict"
 	"dlrmperf/internal/scenario"
+	"dlrmperf/internal/sim"
 )
 
 // cached is the memory-resident value of one served scenario request:
@@ -18,60 +23,276 @@ type cached struct {
 	plan  *scenario.Plan
 }
 
-// resultLRU is a small mutex-guarded LRU keyed by request identity
-// (device + scenario fingerprint + overhead mode). It sits in front of
-// the predict fan-out so repeated requests — inside one PredictBatch or
-// across calls — are served from memory instead of re-walking the
-// execution graph.
-type resultLRU struct {
-	mu    sync.Mutex
-	cap   int
-	ll    *list.List
-	items map[string]*list.Element
+// assetClass indexes one class of engine-owned assets in the store.
+// Every expensive artifact the engine memoizes lives in exactly one
+// class, with its own capacity, recency list, and counters.
+type assetClass int
+
+const (
+	// classCalibration holds calibrated kernel-model registries. The
+	// class is pinned: entries are never evicted, because warm-start
+	// installs and the "calibrate once per device" contract must survive
+	// arbitrary traffic.
+	classCalibration assetClass = iota
+	// classRun holds measured/profiled simulated runs.
+	classRun
+	// classOverheads holds per-workload and shared host-overhead DBs.
+	classOverheads
+	// classGraph holds built workload execution graphs (including
+	// per-shard scenario graphs).
+	classGraph
+	// classResult holds finished predictions keyed by request identity.
+	classResult
+	numAssetClasses
+)
+
+// ClassName renders an asset class for stats and reports.
+var classNames = [numAssetClasses]string{
+	"calibrations", "runs", "overheads", "graphs", "results",
 }
 
-type lruEntry struct {
-	key string
-	val cached
+// ClassStats is the observable state of one asset class: resident
+// entries against the configured capacity, approximate resident bytes,
+// and the lifetime hit/miss/eviction counters.
+type ClassStats struct {
+	Class    string `json:"class"`
+	Resident int    `json:"resident"`
+	// Capacity is the configured entry cap; 0 means unbounded (the
+	// pinned calibration class, or a cap explicitly disabled).
+	Capacity int `json:"capacity"`
+	// Bytes is the approximate resident footprint of the class.
+	Bytes     int64  `json:"bytes"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	// Pinned classes never evict, whatever their size.
+	Pinned bool `json:"pinned,omitempty"`
 }
 
-func newResultLRU(capacity int) *resultLRU {
-	return &resultLRU{cap: capacity, ll: list.New(), items: map[string]*list.Element{}}
+// AssetStats is the full asset-store report: one entry per class in
+// declaration order plus the summed approximate resident bytes.
+type AssetStats struct {
+	Classes    []ClassStats `json:"classes"`
+	TotalBytes int64        `json:"total_bytes"`
 }
 
-// Get returns the cached value and refreshes its recency.
-func (c *resultLRU) Get(key string) (cached, bool) {
+// Class returns the named class's stats (zero value when absent).
+func (s AssetStats) Class(name string) ClassStats {
+	for _, c := range s.Classes {
+		if c.Class == name {
+			return c
+		}
+	}
+	return ClassStats{}
+}
+
+// classStore is one class's shard of the asset store: a mutex-guarded
+// LRU (the generalization of the PR-2 result LRU) with approximate byte
+// accounting and lock-free counters. Values are immutable once stored,
+// so a reader holding an evicted value stays correct; eviction only
+// bounds residency.
+type classStore struct {
+	mu sync.Mutex
+	// cap bounds resident entries; <= 0 means unbounded.
+	cap int
+	// pinned disables eviction entirely (calibrations).
+	pinned bool
+	ll     *list.List
+	items  map[string]*list.Element
+	bytes  int64
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+type storeEntry struct {
+	key   string
+	val   any
+	bytes int64
+}
+
+func newClassStore(capacity int, pinned bool) *classStore {
+	return &classStore{
+		cap: capacity, pinned: pinned,
+		ll: list.New(), items: map[string]*list.Element{},
+	}
+}
+
+// get returns the stored value and refreshes its recency. It does not
+// touch the hit/miss counters — the memo dance owns request-level
+// accounting so singleflight joins are counted exactly once.
+func (c *classStore) get(key string) (any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
-		return cached{}, false
+		return nil, false
 	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*lruEntry).val, true
+	return el.Value.(*storeEntry).val, true
 }
 
-// Put inserts (or refreshes) a value, evicting the least-recently-used
-// entry when over capacity.
-func (c *resultLRU) Put(key string, v cached) {
+// put inserts (or refreshes) a value with its approximate size, then
+// evicts least-recently-used entries while over capacity. Pinned
+// classes never evict.
+func (c *classStore) put(key string, v any, bytes int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*lruEntry).val = v
+		e := el.Value.(*storeEntry)
+		c.bytes += bytes - e.bytes
+		e.val, e.bytes = v, bytes
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: v})
+	c.items[key] = c.ll.PushFront(&storeEntry{key: key, val: v, bytes: bytes})
+	c.bytes += bytes
+	if c.pinned || c.cap <= 0 {
+		return
+	}
 	for c.ll.Len() > c.cap {
 		last := c.ll.Back()
+		e := last.Value.(*storeEntry)
 		c.ll.Remove(last)
-		delete(c.items, last.Value.(*lruEntry).key)
+		delete(c.items, e.key)
+		c.bytes -= e.bytes
+		c.evictions.Add(1)
 	}
 }
 
-// Len reports the resident entry count.
-func (c *resultLRU) Len() int {
+// len reports the resident entry count.
+func (c *classStore) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
+}
+
+// snapshot copies the resident key->value mapping (SaveAssets walks it).
+func (c *classStore) snapshot() map[string]any {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]any, len(c.items))
+	for k, el := range c.items {
+		out[k] = el.Value.(*storeEntry).val
+	}
+	return out
+}
+
+// stats returns the class's observable state under one lock acquisition.
+func (c *classStore) stats(name string) ClassStats {
+	c.mu.Lock()
+	resident, bytes := c.ll.Len(), c.bytes
+	c.mu.Unlock()
+	capacity := c.cap
+	if capacity < 0 {
+		capacity = 0
+	}
+	return ClassStats{
+		Class: name, Resident: resident, Capacity: capacity, Bytes: bytes,
+		Hits: c.hits.Load(), Misses: c.misses.Load(),
+		Evictions: c.evictions.Load(), Pinned: c.pinned,
+	}
+}
+
+// assetStore is the engine's unified metered store: one classStore per
+// asset class. Bounding lives here; build dedup stays with the engine's
+// singleflight, so eviction under concurrent load cannot double-build
+// or tear an entry.
+type assetStore struct {
+	classes [numAssetClasses]*classStore
+}
+
+func newAssetStore(opts Options) *assetStore {
+	s := &assetStore{}
+	s.classes[classCalibration] = newClassStore(0, true)
+	s.classes[classRun] = newClassStore(opts.AssetCaps.Runs, false)
+	s.classes[classOverheads] = newClassStore(opts.AssetCaps.Overheads, false)
+	s.classes[classGraph] = newClassStore(opts.AssetCaps.Graphs, false)
+	// The result class is created even when the result cache is
+	// disabled (negative ResultCacheSize) so its counters still report;
+	// Predict just never stores into it.
+	resultCap := opts.ResultCacheSize
+	if resultCap < 0 {
+		resultCap = 0
+	}
+	s.classes[classResult] = newClassStore(resultCap, false)
+	return s
+}
+
+func (s *assetStore) class(c assetClass) *classStore { return s.classes[c] }
+
+// stats assembles the full per-class report.
+func (s *assetStore) stats() AssetStats {
+	var out AssetStats
+	for i, c := range s.classes {
+		cs := c.stats(classNames[i])
+		out.Classes = append(out.Classes, cs)
+		out.TotalBytes += cs.Bytes
+	}
+	return out
+}
+
+// approxBytes estimates the resident footprint of one asset. The
+// numbers are deliberately rough — they meter relative pressure, not
+// allocator truth — but scale with the dominant payload of each type:
+// trace events for runs, per-op stats for overhead DBs, nodes for
+// graphs, serialized registry size for calibrations.
+func approxBytes(v any) int64 {
+	const (
+		ptrOverhead  = 48  // map/list bookkeeping per entry
+		eventBytes   = 96  // trace.Event struct
+		statsBytes   = 32  // overhead.Stats + map key share
+		nodeBytes    = 200 // graph.Node + op + tensor metadata share
+		opTimeBytes  = 64  // predict.OpTime
+		fallbackSize = 1 << 10
+	)
+	switch t := v.(type) {
+	case *sim.Result:
+		n := int64(ptrOverhead)
+		if t.Trace != nil {
+			n += int64(len(t.Trace.Events)) * eventBytes
+			n += int64(len(t.Trace.IterSpans)) * 16
+			for _, ev := range t.Trace.Events {
+				n += int64(len(ev.Name) + len(ev.Op))
+			}
+		}
+		return n
+	case *overhead.DB:
+		n := int64(ptrOverhead) + 5*statsBytes // T1 + defaults
+		for op := range t.PerOp {
+			n += int64(len(op)) + 3*statsBytes
+		}
+		for fn := range t.T4 {
+			n += int64(len(fn)) + statsBytes
+		}
+		return n
+	case *models.Model:
+		n := int64(ptrOverhead + len(t.Name))
+		if t.Graph != nil {
+			n += int64(len(t.Graph.Nodes)) * nodeBytes
+		}
+		return n
+	case *perfmodel.Calibration:
+		// The registry's fitted models (MLP ensembles per kernel family)
+		// dominate; serialized size is an honest proxy and is computed
+		// once per calibration, whose cost dwarfs the marshal.
+		if raw, err := perfmodel.SaveRegistry(t.Registry); err == nil {
+			return int64(ptrOverhead + len(raw) + 64*len(t.Evals))
+		}
+		return fallbackSize
+	case cached:
+		n := int64(ptrOverhead) + 32 + int64(len(t.pred.PerOp))*opTimeBytes
+		if t.multi != nil {
+			n += 64 + int64(len(t.multi.PerDeviceE2E))*8
+		}
+		if t.plan != nil {
+			n += 64 + 8*int64(len(t.plan.Loads))
+			for _, a := range t.plan.Assignments {
+				n += 8 * int64(len(a))
+			}
+		}
+		return n
+	}
+	return fallbackSize
 }

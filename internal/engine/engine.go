@@ -67,6 +67,40 @@ type Options struct {
 	// result cache (default 512 entries; negative disables the cache —
 	// the cold-path ablation).
 	ResultCacheSize int
+	// AssetCaps bounds the evictable asset classes of the engine's
+	// unified store (runs, overhead DBs, graphs). Calibrations are
+	// pinned and never evict.
+	AssetCaps AssetCaps
+}
+
+// AssetCaps bounds the resident entry count of each evictable asset
+// class. Zero fields select the defaults; negative values leave the
+// class unbounded (the pre-bounded behavior, kept for ablations and
+// baselines). Calibrations take no cap: warm-start installs and the
+// "calibrate once per device" contract must survive arbitrary traffic,
+// so that class is pinned.
+type AssetCaps struct {
+	// Runs caps memoized measured/profiled simulated runs (default 512).
+	Runs int
+	// Overheads caps per-workload and shared host-overhead databases
+	// (default 128).
+	Overheads int
+	// Graphs caps built workload/scenario execution graphs, including
+	// per-shard multi-GPU graphs (default 512).
+	Graphs int
+}
+
+func (c AssetCaps) withDefaults() AssetCaps {
+	if c.Runs == 0 {
+		c.Runs = 512
+	}
+	if c.Overheads == 0 {
+		c.Overheads = 128
+	}
+	if c.Graphs == 0 {
+		c.Graphs = 512
+	}
+	return c
 }
 
 func (o Options) withDefaults() Options {
@@ -85,6 +119,7 @@ func (o Options) withDefaults() Options {
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
+	o.AssetCaps = o.AssetCaps.withDefaults()
 	return o
 }
 
@@ -100,18 +135,21 @@ type Engine struct {
 	calGate sync.Mutex
 
 	mu        sync.Mutex
-	cals      map[string]*perfmodel.Calibration // device -> calibration
-	runs      map[string]*sim.Result            // device/model/batch/profiled -> run
-	dbs       map[string]*overhead.DB           // device/model -> pooled overhead DB
-	shared    map[string]*overhead.DB           // device -> shared DLRM DB
-	models    map[string]*models.Model          // model/batch (or scenario fingerprint) -> built graph
-	calibRuns map[string]int                    // device -> calibrations actually executed
+	calibRuns map[string]int // device -> calibrations actually executed
 
-	// results caches finished predictions by request identity; hits and
-	// misses are the observable counters behind CacheStats.
-	results     *resultLRU
+	// store is the unified metered asset store: every memoized artifact
+	// — calibrations (pinned), runs, overhead DBs, graphs, and finished
+	// predictions — lives in one of its size-bounded classes.
+	store *assetStore
+	// results points at the store's result class; nil when the result
+	// cache is disabled (negative ResultCacheSize).
+	results *classStore
+	// cacheHits/cacheMisses are the request-level result counters behind
+	// CacheStats; rejected counts requests that failed validation before
+	// reaching the compute path.
 	cacheHits   atomic.Uint64
 	cacheMisses atomic.Uint64
+	rejected    atomic.Uint64
 }
 
 // New returns an empty engine; no calibration runs until an asset is
@@ -120,15 +158,11 @@ func New(opts Options) *Engine {
 	opts = opts.withDefaults()
 	e := &Engine{
 		opts:      opts,
-		cals:      map[string]*perfmodel.Calibration{},
-		runs:      map[string]*sim.Result{},
-		dbs:       map[string]*overhead.DB{},
-		shared:    map[string]*overhead.DB{},
-		models:    map[string]*models.Model{},
 		calibRuns: map[string]int{},
+		store:     newAssetStore(opts),
 	}
 	if opts.ResultCacheSize > 0 {
-		e.results = newResultLRU(opts.ResultCacheSize)
+		e.results = e.store.class(classResult)
 	}
 	return e
 }
@@ -156,35 +190,43 @@ func (e *Engine) runSeed(device string, batch int64, profiled bool) uint64 {
 }
 
 // memo runs the cache-then-singleflight-then-cache dance for one keyed
-// asset: hit the memo map, else share one execution of build among
-// concurrent callers and store its result.
-func memo[T any](e *Engine, table map[string]T, key string, build func() (T, error)) (T, error) {
-	e.mu.Lock()
-	v, ok := table[key]
-	e.mu.Unlock()
-	if ok {
-		return v, nil
+// asset: hit the class's resident store, else share one execution of
+// build among concurrent callers and store (and meter) its result.
+// Eviction stays race-free because bounding lives inside the class
+// store's lock while build dedup lives in the singleflight: a key
+// evicted mid-burst is rebuilt exactly once, never torn.
+//
+// Counters follow the result-cache convention: a miss is a caller that
+// actually built or joined a failed build; everything served from
+// resident memory or a successful in-flight build counts as a hit.
+func memo[T any](e *Engine, class assetClass, key string, build func() (T, error)) (T, error) {
+	cs := e.store.class(class)
+	if v, ok := cs.get(key); ok {
+		cs.hits.Add(1)
+		return v.(T), nil
 	}
+	executed := false
 	got, err := e.flight.Do(key, func() (any, error) {
-		e.mu.Lock()
-		v, ok := table[key]
-		e.mu.Unlock()
-		if ok {
+		if v, ok := cs.get(key); ok {
 			return v, nil
 		}
+		executed = true
 		v, err := build()
 		if err != nil {
-			var zero T
-			return zero, err
+			return nil, err
 		}
-		e.mu.Lock()
-		table[key] = v
-		e.mu.Unlock()
+		cs.put(key, v, approxBytes(v))
 		return v, nil
 	})
 	if err != nil {
+		cs.misses.Add(1)
 		var zero T
 		return zero, err
+	}
+	if executed {
+		cs.misses.Add(1)
+	} else {
+		cs.hits.Add(1)
 	}
 	return got.(T), nil
 }
@@ -193,7 +235,7 @@ func memo[T any](e *Engine, table map[string]T, key string, build func() (T, err
 // the parallel calibration on first use. Concurrent first uses
 // calibrate once.
 func (e *Engine) Calibration(device string) (*perfmodel.Calibration, error) {
-	return memo(e, e.cals, "cal/"+device, func() (*perfmodel.Calibration, error) {
+	return memo(e, classCalibration, "cal/"+device, func() (*perfmodel.Calibration, error) {
 		p, err := hw.ByName(device)
 		if err != nil {
 			return nil, err
@@ -212,18 +254,17 @@ func (e *Engine) Calibration(device string) (*perfmodel.Calibration, error) {
 
 // Install seeds the device cache with an already-calibrated (or
 // deserialized) asset, so later requests skip calibration — the
-// warm-start path.
+// warm-start path. Calibrations are pinned: an install survives any
+// amount of traffic.
 func (e *Engine) Install(device string, cal *perfmodel.Calibration) {
-	e.mu.Lock()
-	e.cals["cal/"+device] = cal
-	e.mu.Unlock()
+	e.store.class(classCalibration).put("cal/"+device, cal, approxBytes(cal))
 }
 
 // InstallOverheads seeds the (device, workload) overhead cache.
+// Installed databases are subject to the overheads-class LRU like any
+// collected one; if evicted they rebuild from this engine's own runs.
 func (e *Engine) InstallOverheads(device, workload string, db *overhead.DB) {
-	e.mu.Lock()
-	e.dbs["db/"+device+"/"+workload] = db
-	e.mu.Unlock()
+	e.store.class(classOverheads).put("db/"+device+"/"+workload, db, approxBytes(db))
 }
 
 // CalibrationRuns reports how many calibrations actually executed for a
@@ -239,7 +280,7 @@ func (e *Engine) CalibrationRuns(device string) int {
 // Model returns the memoized built workload graph.
 func (e *Engine) Model(name string, batch int64) (*models.Model, error) {
 	key := fmt.Sprintf("model/%s/%d", name, batch)
-	return memo(e, e.models, key, func() (*models.Model, error) {
+	return memo(e, classGraph, key, func() (*models.Model, error) {
 		return models.Build(name, batch)
 	})
 }
@@ -248,7 +289,7 @@ func (e *Engine) Model(name string, batch int64) (*models.Model, error) {
 // model at batch on device.
 func (e *Engine) Run(device, model string, batch int64, profiled bool) (*sim.Result, error) {
 	key := fmt.Sprintf("run/%s/%s/%d/%v", device, model, batch, profiled)
-	return memo(e, e.runs, key, func() (*sim.Result, error) {
+	return memo(e, classRun, key, func() (*sim.Result, error) {
 		p, err := hw.ByName(device)
 		if err != nil {
 			return nil, err
@@ -279,7 +320,7 @@ func (e *Engine) BatchesFor(model string) []int64 {
 // model on one device, pooled over the family's evaluation batch sizes,
 // profiling lazily on first use.
 func (e *Engine) OverheadDB(device, model string) (*overhead.DB, error) {
-	return memo(e, e.dbs, "db/"+device+"/"+model, func() (*overhead.DB, error) {
+	return memo(e, classOverheads, "db/"+device+"/"+model, func() (*overhead.DB, error) {
 		c := overhead.NewCollector()
 		for _, b := range e.BatchesFor(model) {
 			r, err := e.Run(device, model, b, true)
@@ -295,7 +336,7 @@ func (e *Engine) OverheadDB(device, model string) (*overhead.DB, error) {
 // SharedOverheadDB pools overhead samples across all DLRM workloads on
 // a device — the paper's shared database for large-scale prediction.
 func (e *Engine) SharedOverheadDB(device string) (*overhead.DB, error) {
-	return memo(e, e.shared, "shared/"+device, func() (*overhead.DB, error) {
+	return memo(e, classOverheads, "shared/"+device, func() (*overhead.DB, error) {
 		c := overhead.NewCollector()
 		for _, model := range models.DLRMNames() {
 			for _, b := range e.opts.DLRMBatches {
@@ -367,18 +408,43 @@ func (r Result) ScalingEfficiency() float64 {
 }
 
 // CacheStats returns the prediction result cache counters. A miss is a
-// request that actually computed; everything else — LRU hits and joins
-// on an identical in-flight request — counts as a hit.
+// request that reached the compute path: one that actually computed, or
+// one that joined an in-flight computation that failed. Everything
+// served from memory — LRU hits and joins on an identical in-flight
+// request that succeeded — counts as a hit. The invariant is
+// hits + misses == requests served; requests rejected by validation are
+// counted separately (RejectedRequests) and appear in neither counter.
 func (e *Engine) CacheStats() (hits, misses uint64) {
 	return e.cacheHits.Load(), e.cacheMisses.Load()
 }
+
+// RejectedRequests counts requests that failed scenario validation
+// before reaching the compute path (and therefore the cache counters).
+func (e *Engine) RejectedRequests() uint64 { return e.rejected.Load() }
 
 // CachedResults reports the resident result-cache entry count.
 func (e *Engine) CachedResults() int {
 	if e.results == nil {
 		return 0
 	}
-	return e.results.Len()
+	return e.results.len()
+}
+
+// AssetStats reports the unified asset store's per-class counters:
+// resident entries against capacity, approximate resident bytes, and
+// hit/miss/eviction totals. The results class mirrors the
+// request-level CacheStats counters (so joins on in-flight requests are
+// included), while its resident/bytes/eviction fields come from the
+// store itself.
+func (e *Engine) AssetStats() AssetStats {
+	s := e.store.stats()
+	for i := range s.Classes {
+		if s.Classes[i].Class == classNames[classResult] {
+			s.Classes[i].Hits = e.cacheHits.Load()
+			s.Classes[i].Misses = e.cacheMisses.Load()
+		}
+	}
+	return s
 }
 
 // Predict serves one request, building any missing assets on the way.
@@ -387,6 +453,7 @@ func (e *Engine) CachedResults() int {
 func (e *Engine) Predict(req Request) Result {
 	res := Result{Request: req}
 	if err := req.Scenario.Validate(); err != nil {
+		e.rejected.Add(1)
 		res.Err = err
 		return res
 	}
@@ -400,13 +467,13 @@ func (e *Engine) Predict(req Request) Result {
 		return res.fill(c, false)
 	}
 	key := req.Key()
-	if c, ok := e.results.Get(key); ok {
+	if c, ok := e.results.get(key); ok {
 		e.cacheHits.Add(1)
-		return res.fill(c, true)
+		return res.fill(c.(cached), true)
 	}
 	executed := false
 	got, err := e.flight.Do("predict/"+key, func() (any, error) {
-		if c, ok := e.results.Get(key); ok {
+		if c, ok := e.results.get(key); ok {
 			return c, nil
 		}
 		executed = true
@@ -414,13 +481,15 @@ func (e *Engine) Predict(req Request) Result {
 		if err != nil {
 			return nil, err
 		}
-		e.results.Put(key, c)
+		e.results.put(key, c, approxBytes(c))
 		return c, nil
 	})
 	if err != nil {
-		if executed {
-			e.cacheMisses.Add(1)
-		}
+		// The executing caller and every joiner of the failed flight
+		// reached the compute path without being served from memory:
+		// count them all as misses so hits+misses keeps equaling the
+		// requests served even on error paths.
+		e.cacheMisses.Add(1)
 		res.Err = err
 		return res
 	}

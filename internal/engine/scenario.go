@@ -63,7 +63,7 @@ func (e *Engine) scenarioModel(spec scenario.Spec) (*models.Model, error) {
 		return e.Model(spec.Workload, spec.Batch)
 	}
 	key := "graph/" + spec.Fingerprint()
-	return memo(e, e.models, key, func() (*models.Model, error) {
+	return memo(e, classGraph, key, func() (*models.Model, error) {
 		cfg, err := models.DLRMConfigFor(spec.Workload, spec.Batch)
 		if err != nil {
 			return nil, fmt.Errorf("scenario: custom tables need a DLRM family: %w", err)
@@ -134,7 +134,7 @@ func (e *Engine) predictMulti(req Request) (cached, error) {
 			// shards (every uniform-table scenario) build one graph.
 			key := fmt.Sprintf("graph/%s/b%d/%016x", spec.Workload, perDev,
 				xrand.HashString(scenario.TablesKey(shard)))
-			m, err := memo(e, e.models, key, func() (*models.Model, error) {
+			m, err := memo(e, classGraph, key, func() (*models.Model, error) {
 				return models.BuildDLRM(specializeDLRM(cfg, perDev, shard))
 			})
 			if err != nil {

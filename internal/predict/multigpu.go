@@ -50,23 +50,28 @@ func CommByName(name string) (CommModel, error) {
 }
 
 // AllReduce returns the time for a ring all-reduce of nBytes across n
-// devices: 2*(n-1)/n of the data crosses each link.
+// devices: 2*(n-1)/n of the data crosses each link, over 2*(n-1) ring
+// steps (reduce-scatter then all-gather), each paying the launch
+// latency alpha once.
 func (c CommModel) AllReduce(nBytes int64, n int) float64 {
 	if n <= 1 {
 		return 0
 	}
+	steps := 2 * float64(n-1)
 	factor := 2 * float64(n-1) / float64(n)
-	return c.Alpha + factor*float64(nBytes)/c.BusBW
+	return steps*c.Alpha + factor*float64(nBytes)/c.BusBW
 }
 
 // AllToAll returns the time for an all-to-all exchange of nBytes total
-// payload per device across n devices.
+// payload per device across n devices: (n-1)/n of the payload leaves
+// each device, over n-1 pairwise exchange steps, each paying alpha.
 func (c CommModel) AllToAll(nBytes int64, n int) float64 {
 	if n <= 1 {
 		return 0
 	}
+	steps := float64(n - 1)
 	factor := float64(n-1) / float64(n)
-	return c.Alpha + factor*float64(nBytes)/c.BusBW
+	return steps*c.Alpha + factor*float64(nBytes)/c.BusBW
 }
 
 // MultiGPUPrediction extends Prediction with the communication breakdown.

@@ -23,15 +23,18 @@ func TestCommModelEdgeCases(t *testing.T) {
 		{"allreduce n=1 is free", c.AllReduce(1<<20, 1), 0},
 		{"alltoall n=1 is free", c.AllToAll(1<<20, 1), 0},
 		{"allreduce n=0 is free", c.AllReduce(1<<20, 0), 0},
-		{"allreduce zero bytes is latency-only", c.AllReduce(0, 4), c.Alpha},
-		{"alltoall zero bytes is latency-only", c.AllToAll(0, 4), c.Alpha},
-		// Ring all-reduce moves 2*(n-1)/n of the payload: n=2 -> factor 1.
-		{"allreduce n=2 factor", c.AllReduce(1000, 2), c.Alpha + 1000.0/c.BusBW},
-		// All-to-all keeps (n-1)/n off-device: n=2 -> factor 1/2.
+		// A ring over n devices takes 2*(n-1) all-reduce steps and n-1
+		// all-to-all steps, each paying the launch latency alpha.
+		{"allreduce zero bytes pays per-step latency", c.AllReduce(0, 4), 6 * c.Alpha},
+		{"alltoall zero bytes pays per-step latency", c.AllToAll(0, 4), 3 * c.Alpha},
+		// Ring all-reduce moves 2*(n-1)/n of the payload: n=2 -> factor 1,
+		// over 2 steps.
+		{"allreduce n=2 factor", c.AllReduce(1000, 2), 2*c.Alpha + 1000.0/c.BusBW},
+		// All-to-all keeps (n-1)/n off-device: n=2 -> factor 1/2, 1 step.
 		{"alltoall n=2 factor", c.AllToAll(1000, 2), c.Alpha + 500.0/c.BusBW},
-		// n=4: 2*3/4 and 3/4.
-		{"allreduce n=4 factor", c.AllReduce(1000, 4), c.Alpha + 1500.0/c.BusBW},
-		{"alltoall n=4 factor", c.AllToAll(1000, 4), c.Alpha + 750.0/c.BusBW},
+		// n=4: factors 2*3/4 and 3/4, over 6 and 3 steps.
+		{"allreduce n=4 factor", c.AllReduce(1000, 4), 6*c.Alpha + 1500.0/c.BusBW},
+		{"alltoall n=4 factor", c.AllToAll(1000, 4), 3*c.Alpha + 750.0/c.BusBW},
 	}
 	for _, tc := range cases {
 		if tc.got != tc.want {

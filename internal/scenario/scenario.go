@@ -84,12 +84,18 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("scenario %s: batch %d smaller than device count %d", s.Workload, s.Batch, n)
 	}
 	for i, t := range s.Tables {
-		if t.Rows <= 0 || t.Lookups <= 0 {
+		if t.Rows <= 0 || t.Lookups <= 0 || t.Skew < 0 {
 			return fmt.Errorf("scenario %s: table %d has invalid spec %+v", s.Workload, i, t)
 		}
 	}
 	if _, err := predict.CommByName(s.Comm); err != nil {
 		return fmt.Errorf("scenario %s: %w", s.Workload, err)
+	}
+	// A comm model on a single-device spec would never be exercised and
+	// is dropped from the canonical identity; reject it so two
+	// differently-written specs cannot alias one fingerprint.
+	if s.Comm != "" && s.NumDevices() == 1 {
+		return fmt.Errorf("scenario %s: comm %q set on a single-device spec", s.Workload, s.Comm)
 	}
 	return nil
 }

@@ -66,6 +66,14 @@ func TestSpecValidate(t *testing.T) {
 		{"case-insensitive comm", Spec{Workload: models.NameDLRMDefault, Batch: 512, Devices: 2, Comm: "NVLink"}, true},
 		{"bad table", Spec{Workload: models.NameDLRMDefault, Batch: 512,
 			Tables: []workload.TableSpec{{Rows: 0, Lookups: 1}}}, false},
+		{"negative skew", Spec{Workload: models.NameDLRMDefault, Batch: 512,
+			Tables: []workload.TableSpec{{Rows: 1000, Lookups: 1, Skew: -0.5}}}, false},
+		{"zero skew", Spec{Workload: models.NameDLRMDefault, Batch: 512,
+			Tables: []workload.TableSpec{{Rows: 1000, Lookups: 1, Skew: 0}}}, true},
+		{"comm on single-device spec", Spec{Workload: models.NameDLRMDefault,
+			Batch: 512, Comm: CommPCIe}, false},
+		{"comm on width-0 spec", Spec{Workload: models.NameDLRMDefault,
+			Batch: 512, Devices: 0, Comm: CommNVLink}, false},
 	}
 	for _, c := range cases {
 		if err := c.spec.Validate(); (err == nil) != c.ok {
