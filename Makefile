@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt bench bench-assets serve-demo check
+.PHONY: build test race vet fmt bench bench-assets bench-check bench-baseline serve-demo serve-http check
 
 build:
 	$(GO) build ./...
@@ -28,10 +28,30 @@ bench:
 bench-assets:
 	$(GO) run ./cmd/dlrmperf-bench -mode assetstore -n 2000
 
+# bench-check is the local bench-regression gate (the CI bench job runs
+# the same steps): measure the two tracked hot paths, parse them into
+# BENCH_pr.json, and compare against the checked-in baseline — failing
+# on >25% ns/op or >10% allocs/op regressions.
+BENCH_PATTERN = PredictBatchCached$$|CalibrateParallel$$
+bench-check:
+	$(GO) test -run xxx -bench '$(BENCH_PATTERN)' -benchmem -count 5 . | tee BENCH_pr.txt
+	$(GO) run ./cmd/benchdiff -parse -in BENCH_pr.txt -o BENCH_pr.json
+	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json -current BENCH_pr.json
+
+# bench-baseline regenerates BENCH_baseline.json from the current tree
+# (run on the reference machine after an intentional perf change).
+bench-baseline:
+	$(GO) test -run xxx -bench '$(BENCH_PATTERN)' -benchmem -count 5 . | $(GO) run ./cmd/benchdiff -parse -o BENCH_baseline.json
+
 # serve-demo serves the checked-in mixed single/multi-GPU scenario
 # fixture through one engine and prints the JSON report (cache
 # counters, per-request scaling efficiency).
 serve-demo:
 	$(GO) run ./cmd/dlrmperf-serve -in cmd/dlrmperf-serve/testdata/requests.json
+
+# serve-http starts the async HTTP service on :8080 with low-fidelity
+# calibration, for interactive poking (curl examples in the README).
+serve-http:
+	$(GO) run ./cmd/dlrmperf-serve -listen :8080 -fast-calib
 
 check: build vet fmt test

@@ -1,11 +1,15 @@
 package dlrmperf
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"dlrmperf/internal/engine"
 	"dlrmperf/internal/hw"
+	"dlrmperf/internal/kernels"
+	"dlrmperf/internal/microbench"
+	"dlrmperf/internal/mlp"
 	"dlrmperf/internal/perfmodel"
 	"dlrmperf/internal/scenario"
 )
@@ -58,6 +62,28 @@ type AssetStats = engine.AssetStats
 
 // AssetClassStats is one class's entry in AssetStats.
 type AssetClassStats = engine.ClassStats
+
+// FastCalibConfig returns an EngineConfig with low-fidelity
+// calibration: eighth-size microbenchmark sweeps and a single tiny
+// network per ML-based kernel family, so a device calibrates in
+// fractions of a second instead of minutes. Predictions are still
+// fully deterministic in the seed, just lower fidelity — this is the
+// preset behind `dlrmperf-serve -fast-calib`, smoke tests, and CI,
+// and the single source of truth for those knobs.
+func FastCalibConfig(seed uint64, workers int) EngineConfig {
+	sizes := map[kernels.Kind]int{}
+	for k, n := range microbench.DefaultSweepSizes() {
+		sizes[k] = n / 8
+	}
+	return EngineConfig{
+		Seed:    seed,
+		Workers: workers,
+		Calib: perfmodel.CalibOptions{
+			SweepSizes: sizes, Ensemble: 1,
+			MLPConfig: mlp.Config{HiddenLayers: 1, Width: 16, Optimizer: mlp.Adam, LR: 3e-3, Epochs: 10, BatchSize: 64},
+		},
+	}
+}
 
 // NewEngine returns a lazy prediction engine over the given devices
 // (default: all supported devices) with default options. No calibration
@@ -177,14 +203,27 @@ type PredictResult struct {
 // collecting its overhead statistics on first use. Requests for
 // devices outside the engine's set fail fast, before any calibration.
 func (e *Engine) Predict(req PredictRequest) PredictResult {
+	return e.PredictContext(context.Background(), req)
+}
+
+// PredictContext is Predict with a caller deadline: when ctx expires
+// the caller gets ctx.Err() immediately while any computation it
+// started keeps running detached and lands in the result cache, so a
+// canceled request never poisons the in-flight entry or wastes the
+// work for the next identical request. This is the entry point of the
+// async serving layer (internal/serve), which threads per-request HTTP
+// deadlines through here.
+func (e *Engine) PredictContext(ctx context.Context, req PredictRequest) PredictResult {
 	if err := e.checkServes(req.Device); err != nil {
+		e.eng.RejectRequest()
 		return PredictResult{Request: req, Err: err}
 	}
 	ereq, err := toEngine(req)
 	if err != nil {
+		e.eng.RejectRequest()
 		return PredictResult{Request: req, Err: err}
 	}
-	return fromEngine(req, e.eng.Predict(ereq))
+	return fromEngine(req, e.eng.PredictCtx(ctx, ereq))
 }
 
 // PredictBatch fans the requests out across the engine's worker pool
@@ -195,23 +234,32 @@ func (e *Engine) Predict(req PredictRequest) PredictResult {
 // set) are reported in the failing slot and do not disturb the rest of
 // the batch.
 func (e *Engine) PredictBatch(reqs []PredictRequest) []PredictResult {
+	return e.PredictBatchContext(context.Background(), reqs)
+}
+
+// PredictBatchContext is PredictBatch under a shared caller deadline:
+// canceling ctx abandons the whole batch (each slot reports ctx.Err())
+// without aborting or poisoning any in-flight computation.
+func (e *Engine) PredictBatchContext(ctx context.Context, reqs []PredictRequest) []PredictResult {
 	out := make([]PredictResult, len(reqs))
 	var ereqs []engine.Request
 	var idx []int
 	for i, r := range reqs {
 		if err := e.checkServes(r.Device); err != nil {
+			e.eng.RejectRequest()
 			out[i] = PredictResult{Request: r, Err: err}
 			continue
 		}
 		ereq, err := toEngine(r)
 		if err != nil {
+			e.eng.RejectRequest()
 			out[i] = PredictResult{Request: r, Err: err}
 			continue
 		}
 		ereqs = append(ereqs, ereq)
 		idx = append(idx, i)
 	}
-	for j, r := range e.eng.PredictBatch(ereqs) {
+	for j, r := range e.eng.PredictBatchCtx(ctx, ereqs) {
 		out[idx[j]] = fromEngine(reqs[idx[j]], r)
 	}
 	return out
@@ -227,8 +275,10 @@ func (e *Engine) CacheStats() (hits, misses uint64) {
 	return e.eng.CacheStats()
 }
 
-// RejectedRequests counts requests the engine rejected at validation,
-// before the compute path and the cache counters.
+// RejectedRequests counts requests rejected at validation — engine
+// scenario validation plus the facade's device-set check and scenario
+// resolution — before the compute path and the cache counters, so
+// hits + misses + rejected accounts for every dispatched request.
 func (e *Engine) RejectedRequests() uint64 { return e.eng.RejectedRequests() }
 
 // AssetStats reports the engine's unified asset store: per-class

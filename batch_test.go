@@ -1,30 +1,17 @@
 package dlrmperf
 
 import (
+	"context"
+	"errors"
 	"testing"
-
-	"dlrmperf/internal/kernels"
-	"dlrmperf/internal/microbench"
-	"dlrmperf/internal/mlp"
-	"dlrmperf/internal/perfmodel"
 )
 
-// fastEngineConfig keeps multi-device engine tests quick: eighth-size
-// sweeps and a single tiny network per ML-based kernel family.
+// fastEngineConfig keeps multi-device engine tests quick via the
+// shared low-fidelity calibration preset.
 func fastEngineConfig(devices ...string) EngineConfig {
-	sizes := map[kernels.Kind]int{}
-	for k, n := range microbench.DefaultSweepSizes() {
-		sizes[k] = n / 8
-	}
-	return EngineConfig{
-		Devices: devices,
-		Seed:    17,
-		Workers: 4,
-		Calib: perfmodel.CalibOptions{
-			SweepSizes: sizes, Ensemble: 1,
-			MLPConfig: mlp.Config{HiddenLayers: 1, Width: 16, Optimizer: mlp.Adam, LR: 3e-3, Epochs: 10, BatchSize: 64},
-		},
-	}
+	cfg := FastCalibConfig(17, 4)
+	cfg.Devices = devices
+	return cfg
 }
 
 // batchRequests builds the acceptance matrix: 3 workloads x 2 batch
@@ -154,15 +141,16 @@ func TestScenarioRequestFacade(t *testing.T) {
 		t.Error("unknown scenario accepted")
 	}
 
-	// Validation failures reach the engine and are tallied as rejects,
-	// outside the hit/miss counters.
+	// Validation failures are tallied as rejects, outside the hit/miss
+	// counters — the unknown scenario above (facade resolution) and the
+	// engine-side structural failure below both count.
 	before, _ := eng.CacheStats()
 	_, beforeMiss := eng.CacheStats()
 	if r := eng.Predict(PredictRequest{Workload: DLRMDefault, Batch: 512, Device: V100, Comm: "pcie"}); r.Err == nil {
 		t.Error("comm on a single-device request accepted")
 	}
-	if got := eng.RejectedRequests(); got != 1 {
-		t.Errorf("RejectedRequests = %d, want 1", got)
+	if got := eng.RejectedRequests(); got != 2 {
+		t.Errorf("RejectedRequests = %d, want 2 (unknown scenario + comm on width 1)", got)
 	}
 	if h, m := eng.CacheStats(); h != before || m != beforeMiss {
 		t.Errorf("rejected request leaked into cache counters: %d/%d -> %d/%d", before, beforeMiss, h, m)
@@ -304,5 +292,50 @@ func TestEngineEagerCalibrate(t *testing.T) {
 	}
 	if runs := eng.CalibrationRuns(V100); runs != 1 {
 		t.Errorf("prediction re-calibrated: runs = %d", runs)
+	}
+}
+
+// TestPredictContextFacade: the context-accepting facade variants
+// thread cancellation into the engine — an expired context fails fast
+// with ctx.Err() before any calibration — and the StreamStats surface
+// accounts for every request the engine served.
+func TestPredictContextFacade(t *testing.T) {
+	eng, err := NewEngineWith(fastEngineConfig(V100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := eng.PredictContext(ctx, PredictRequest{Workload: DLRMDefault, Batch: 512, Device: V100})
+	if !errors.Is(res.Err, context.Canceled) {
+		t.Fatalf("expired context error = %v, want context.Canceled", res.Err)
+	}
+	if got := eng.CalibrationRuns(V100); got != 0 {
+		t.Fatalf("expired request calibrated the device (%d runs)", got)
+	}
+
+	batch := eng.PredictBatchContext(context.Background(), []PredictRequest{
+		{Workload: DLRMDefault, Batch: 512, Device: V100},
+		{Workload: DLRMDefault, Batch: 512, Device: V100},
+	})
+	for i, r := range batch {
+		if r.Err != nil {
+			t.Fatalf("request %d failed: %v", i, r.Err)
+		}
+	}
+	if !batch[1].CacheHit && !batch[0].CacheHit {
+		t.Error("duplicate in batch missed the result cache")
+	}
+
+	ss := eng.StreamStats()
+	hits, misses := eng.CacheStats()
+	if hits+misses != ss.Served {
+		t.Errorf("hits+misses = %d+%d, served = %d; invariant broken", hits, misses, ss.Served)
+	}
+	if ss.Canceled != 1 {
+		t.Errorf("canceled = %d, want 1", ss.Canceled)
+	}
+	if ss.InFlight != 0 || ss.Served != 3 {
+		t.Errorf("stream stats = %+v, want in-flight 0, served 3", ss)
 	}
 }

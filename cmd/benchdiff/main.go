@@ -1,0 +1,252 @@
+// Command benchdiff is the bench-regression gate behind `make
+// bench-check` and the CI bench job. It has two modes sharing one JSON
+// schema:
+//
+//	go test -run xxx -bench 'PredictBatchCached$|CalibrateParallel$' -benchmem -count 5 . \
+//	  | benchdiff -parse -o BENCH_pr.json
+//	benchdiff -baseline BENCH_baseline.json -current BENCH_pr.json
+//
+// -parse reads `go test -bench` text and writes one entry per
+// benchmark with the minimum ns/op, B/op, and allocs/op across the
+// -count samples (minimum, not mean: scheduler noise only ever adds
+// time, so the minimum is the most reproducible estimate across
+// machines).
+//
+// The compare mode fails (exit 1) when any baseline benchmark is
+// missing from the current run, slower than the time threshold
+// (-max-time, default +25% ns/op), or allocating over the allocation
+// threshold (-max-allocs, default +10% allocs/op). Allocation counts
+// are deterministic, so the tight bound is the real tripwire;
+// the generous time bound absorbs machine-to-machine variance.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one benchmark's aggregated measurement.
+type Sample struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Samples     int     `json:"samples"`
+}
+
+// Suite maps normalized benchmark names (Benchmark prefix and
+// GOMAXPROCS suffix stripped) to their measurements.
+type Suite struct {
+	Benchmarks map[string]Sample `json:"benchmarks"`
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}
+
+func main() {
+	parse := flag.Bool("parse", false, "parse `go test -bench` text from stdin (or -in) into JSON")
+	in := flag.String("in", "-", "bench text input for -parse (- for stdin)")
+	out := flag.String("o", "-", "JSON output for -parse (- for stdout)")
+	baseline := flag.String("baseline", "", "baseline suite JSON (compare mode)")
+	current := flag.String("current", "", "current suite JSON (compare mode)")
+	maxTime := flag.Float64("max-time", 0.25, "maximum allowed ns/op regression (0.25 = +25%)")
+	maxAllocs := flag.Float64("max-allocs", 0.10, "maximum allowed allocs/op regression (0.10 = +10%)")
+	flag.Parse()
+
+	if *parse {
+		var r io.Reader = os.Stdin
+		if *in != "-" {
+			f, err := os.Open(*in)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			r = f
+		}
+		suite, err := parseBench(r)
+		if err != nil {
+			fail(err)
+		}
+		data, err := json.MarshalIndent(suite, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		data = append(data, '\n')
+		if *out == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	if *baseline == "" || *current == "" {
+		fail(fmt.Errorf("compare mode needs -baseline and -current (or use -parse)"))
+	}
+	base, err := loadSuite(*baseline)
+	if err != nil {
+		fail(err)
+	}
+	cur, err := loadSuite(*current)
+	if err != nil {
+		fail(err)
+	}
+	report, regressions := compare(base, cur, *maxTime, *maxAllocs)
+	fmt.Print(report)
+	if len(regressions) > 0 {
+		fail(fmt.Errorf("%d benchmark regression(s)", len(regressions)))
+	}
+}
+
+func loadSuite(path string) (Suite, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Suite{}, err
+	}
+	var s Suite
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Suite{}, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if len(s.Benchmarks) == 0 {
+		return Suite{}, fmt.Errorf("%s holds no benchmarks", path)
+	}
+	return s, nil
+}
+
+// normalizeName strips the Benchmark prefix and the -GOMAXPROCS
+// suffix, so runs from machines with different core counts compare.
+func normalizeName(name string) string {
+	name = strings.TrimPrefix(name, "Benchmark")
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	return name
+}
+
+// parseBench reads `go test -bench -benchmem` output and keeps, per
+// benchmark, the minimum of each metric across repeated -count lines.
+func parseBench(r io.Reader) (Suite, error) {
+	suite := Suite{Benchmarks: map[string]Sample{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// BenchmarkName-8  N  <ns> ns/op  <B> B/op  <allocs> allocs/op
+		if len(fields) < 4 {
+			continue
+		}
+		s := Sample{Samples: 1, NsPerOp: -1, BytesPerOp: -1, AllocsPerOp: -1}
+		for i := 2; i+1 < len(fields); i++ {
+			val := fields[i]
+			switch fields[i+1] {
+			case "ns/op":
+				f, err := strconv.ParseFloat(val, 64)
+				if err != nil {
+					return Suite{}, fmt.Errorf("bad ns/op in %q: %w", line, err)
+				}
+				s.NsPerOp = f
+			case "B/op":
+				n, err := strconv.ParseInt(val, 10, 64)
+				if err != nil {
+					return Suite{}, fmt.Errorf("bad B/op in %q: %w", line, err)
+				}
+				s.BytesPerOp = n
+			case "allocs/op":
+				n, err := strconv.ParseInt(val, 10, 64)
+				if err != nil {
+					return Suite{}, fmt.Errorf("bad allocs/op in %q: %w", line, err)
+				}
+				s.AllocsPerOp = n
+			}
+		}
+		if s.NsPerOp < 0 {
+			continue // a Benchmark-prefixed line without measurements
+		}
+		name := normalizeName(fields[0])
+		if prev, ok := suite.Benchmarks[name]; ok {
+			s.Samples = prev.Samples + 1
+			if prev.NsPerOp < s.NsPerOp {
+				s.NsPerOp = prev.NsPerOp
+			}
+			if prev.BytesPerOp >= 0 && prev.BytesPerOp < s.BytesPerOp {
+				s.BytesPerOp = prev.BytesPerOp
+			}
+			if prev.AllocsPerOp >= 0 && prev.AllocsPerOp < s.AllocsPerOp {
+				s.AllocsPerOp = prev.AllocsPerOp
+			}
+		}
+		suite.Benchmarks[name] = s
+	}
+	if err := sc.Err(); err != nil {
+		return Suite{}, err
+	}
+	if len(suite.Benchmarks) == 0 {
+		return Suite{}, fmt.Errorf("no benchmark lines found")
+	}
+	return suite, nil
+}
+
+// compare checks every baseline benchmark against the current run and
+// renders a human-readable table; regressions lists the failures.
+func compare(base, cur Suite, maxTime, maxAllocs float64) (report string, regressions []string) {
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %14s %14s %8s   %14s %14s %8s\n",
+		"benchmark", "base ns/op", "cur ns/op", "Δtime", "base allocs", "cur allocs", "Δallocs")
+	for _, name := range names {
+		bs := base.Benchmarks[name]
+		cs, ok := cur.Benchmarks[name]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("%s: missing from current run", name))
+			fmt.Fprintf(&b, "%-28s %14.0f %14s\n", name, bs.NsPerOp, "MISSING")
+			continue
+		}
+		dt := ratio(cs.NsPerOp, bs.NsPerOp)
+		da := ratio(float64(cs.AllocsPerOp), float64(bs.AllocsPerOp))
+		mark := ""
+		if dt > maxTime {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: ns/op %+.1f%% (limit %+.0f%%)", name, dt*100, maxTime*100))
+			mark = "  << TIME REGRESSION"
+		}
+		if da > maxAllocs {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: allocs/op %+.1f%% (limit %+.0f%%)", name, da*100, maxAllocs*100))
+			mark += "  << ALLOC REGRESSION"
+		}
+		fmt.Fprintf(&b, "%-28s %14.0f %14.0f %+7.1f%%   %14d %14d %+7.1f%%%s\n",
+			name, bs.NsPerOp, cs.NsPerOp, dt*100, bs.AllocsPerOp, cs.AllocsPerOp, da*100, mark)
+	}
+	for _, r := range regressions {
+		fmt.Fprintf(&b, "FAIL: %s\n", r)
+	}
+	return b.String(), regressions
+}
+
+// ratio is cur/base - 1, tolerating a zero base (no measurement: any
+// current value passes).
+func ratio(cur, base float64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return cur/base - 1
+}

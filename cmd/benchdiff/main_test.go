@@ -1,0 +1,126 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const benchText = `goos: linux
+goarch: amd64
+pkg: dlrmperf
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkCalibrateParallel  	       2	 734804618 ns/op	 6590592 B/op	  220363 allocs/op
+BenchmarkCalibrateParallel  	       2	 742117754 ns/op	 6590600 B/op	  220365 allocs/op
+BenchmarkPredictBatchCached-8 	   41731	     29180 ns/op	   12520 B/op	     151 allocs/op
+BenchmarkPredictBatchCached-8 	   39862	     29054 ns/op	   12524 B/op	     152 allocs/op
+PASS
+ok  	dlrmperf	26.656s
+`
+
+func parsed(t *testing.T) Suite {
+	t.Helper()
+	s, err := parseBench(strings.NewReader(benchText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestParseBench: names normalize (Benchmark prefix, -GOMAXPROCS
+// suffix), and repeated -count lines keep the per-metric minimum.
+func TestParseBench(t *testing.T) {
+	s := parsed(t)
+	if len(s.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %+v", len(s.Benchmarks), s)
+	}
+	cal, ok := s.Benchmarks["CalibrateParallel"]
+	if !ok {
+		t.Fatalf("CalibrateParallel missing: %+v", s)
+	}
+	if cal.NsPerOp != 734804618 || cal.AllocsPerOp != 220363 || cal.BytesPerOp != 6590592 || cal.Samples != 2 {
+		t.Errorf("CalibrateParallel min-aggregation wrong: %+v", cal)
+	}
+	pb, ok := s.Benchmarks["PredictBatchCached"]
+	if !ok {
+		t.Fatalf("PredictBatchCached (suffix-stripped) missing: %+v", s)
+	}
+	if pb.NsPerOp != 29054 || pb.AllocsPerOp != 151 || pb.BytesPerOp != 12520 {
+		t.Errorf("PredictBatchCached min-aggregation wrong: %+v", pb)
+	}
+}
+
+func TestParseBenchRejectsEmpty(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("PASS\nok x 1s\n")); err == nil {
+		t.Fatal("empty bench text accepted")
+	}
+}
+
+// TestCompareIdenticalPasses: the tree compared against itself is
+// never a regression.
+func TestCompareIdenticalPasses(t *testing.T) {
+	s := parsed(t)
+	report, regressions := compare(s, s, 0.25, 0.10)
+	if len(regressions) != 0 {
+		t.Fatalf("self-compare regressed: %v\n%s", regressions, report)
+	}
+}
+
+// TestCompareSyntheticAllocRegression is the gate's acceptance
+// criterion kept as a permanent test: a synthetic 2x allocs/op
+// regression must fail even when timing is unchanged.
+func TestCompareSyntheticAllocRegression(t *testing.T) {
+	base := parsed(t)
+	cur := Suite{Benchmarks: map[string]Sample{}}
+	for name, s := range base.Benchmarks {
+		s.AllocsPerOp *= 2
+		cur.Benchmarks[name] = s
+	}
+	report, regressions := compare(base, cur, 0.25, 0.10)
+	if len(regressions) != 2 {
+		t.Fatalf("2x allocs regression produced %d failures, want 2:\n%s", len(regressions), report)
+	}
+	for _, r := range regressions {
+		if !strings.Contains(r, "allocs/op") {
+			t.Errorf("regression %q does not name allocs/op", r)
+		}
+	}
+	if !strings.Contains(report, "ALLOC REGRESSION") {
+		t.Errorf("report does not flag the alloc regression:\n%s", report)
+	}
+}
+
+// TestCompareTimeRegression: +50% ns/op trips the default +25% bound;
+// +10% does not.
+func TestCompareTimeRegression(t *testing.T) {
+	base := parsed(t)
+	slow := Suite{Benchmarks: map[string]Sample{}}
+	for name, s := range base.Benchmarks {
+		s.NsPerOp *= 1.5
+		slow.Benchmarks[name] = s
+	}
+	if _, regressions := compare(base, slow, 0.25, 0.10); len(regressions) != 2 {
+		t.Fatalf("+50%% time regression produced %d failures, want 2", len(regressions))
+	}
+	mild := Suite{Benchmarks: map[string]Sample{}}
+	for name, s := range base.Benchmarks {
+		s.NsPerOp *= 1.1
+		mild.Benchmarks[name] = s
+	}
+	if report, regressions := compare(base, mild, 0.25, 0.10); len(regressions) != 0 {
+		t.Fatalf("+10%% time flagged as regression: %v\n%s", regressions, report)
+	}
+}
+
+// TestCompareMissingBenchmark: a benchmark that vanished from the
+// current run fails the gate (a silently-deleted benchmark must not
+// pass).
+func TestCompareMissingBenchmark(t *testing.T) {
+	base := parsed(t)
+	cur := Suite{Benchmarks: map[string]Sample{
+		"CalibrateParallel": base.Benchmarks["CalibrateParallel"],
+	}}
+	_, regressions := compare(base, cur, 0.25, 0.10)
+	if len(regressions) != 1 || !strings.Contains(regressions[0], "missing") {
+		t.Fatalf("missing benchmark not flagged: %v", regressions)
+	}
+}

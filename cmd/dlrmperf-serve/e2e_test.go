@@ -1,0 +1,257 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"dlrmperf/internal/serve"
+)
+
+// TestE2EHTTPServe is the end-to-end smoke CI runs instead of the old
+// grep-based report checks: it builds the real binary, starts
+// `dlrmperf-serve -listen` on an ephemeral port, serves the checked-in
+// mixed single/multi-GPU fixture over HTTP with a result-cache hit on
+// the duplicate scenario, provokes 429 backpressure on the 1-deep
+// admission queue, verifies the /stats accounting invariant and
+// /healthz, and finally SIGTERMs the process expecting a clean drain
+// (exit 0) with assets re-saved.
+func TestE2EHTTPServe(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("drains via SIGTERM; not exercised on windows")
+	}
+	bin := filepath.Join(t.TempDir(), "dlrmperf-serve")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building binary: %v\n%s", err, out)
+	}
+
+	assetsDir := filepath.Join(t.TempDir(), "assets")
+	cmd := exec.Command(bin,
+		"-listen", "127.0.0.1:0",
+		"-fast-calib",
+		"-queue", "1",
+		"-stream-workers", "1",
+		"-save-assets", assetsDir,
+	)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The server prints "listening on 127.0.0.1:PORT" once bound. The
+	// scanner goroutine owns the stderr pipe until EOF; tail() guards
+	// the buffer so failure paths can read it race-free, and scanDone
+	// orders the pipe's EOF before cmd.Wait below.
+	addrCh := make(chan string, 1)
+	var tailMu sync.Mutex
+	var stderrTail bytes.Buffer
+	tail := func() string {
+		tailMu.Lock()
+		defer tailMu.Unlock()
+		return stderrTail.String()
+	}
+	scanDone := make(chan struct{})
+	go func() {
+		defer close(scanDone)
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			tailMu.Lock()
+			stderrTail.WriteString(line + "\n")
+			tailMu.Unlock()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				select {
+				case addrCh <- strings.TrimSpace(line[i+len("listening on "):]):
+				default:
+				}
+			}
+		}
+	}()
+	var base string
+	select {
+	case addr := <-addrCh:
+		base = "http://" + addr
+	case <-time.After(30 * time.Second):
+		t.Fatalf("server never announced its address; stderr:\n%s", tail())
+	}
+
+	client := &http.Client{Timeout: 2 * time.Minute}
+	getJSON := func(path string, v any) int {
+		t.Helper()
+		resp, err := client.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != nil {
+			if err := json.Unmarshal(data, v); err != nil {
+				t.Fatalf("parsing %s response %q: %v", path, data, err)
+			}
+		}
+		return resp.StatusCode
+	}
+
+	// Liveness before any traffic.
+	if code := getJSON("/healthz", nil); code != http.StatusOK {
+		t.Fatalf("/healthz = %d, want 200", code)
+	}
+	var scenarios []string
+	if code := getJSON("/v1/scenarios", &scenarios); code != http.StatusOK || len(scenarios) == 0 {
+		t.Fatalf("/v1/scenarios = %d with %d names", code, len(scenarios))
+	}
+
+	// The checked-in fixture over HTTP: the batch endpoint blocks for
+	// admission (no 429s even on a 1-deep queue) and the duplicate
+	// scenario is served from the result cache.
+	fixture, err := os.ReadFile(filepath.Join("testdata", "requests.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(base+"/v1/predict/batch", "application/json", bytes.NewReader(fixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	repData, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch = %d: %s", resp.StatusCode, repData)
+	}
+	var rep serve.Report
+	if err := json.Unmarshal(repData, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 3 || rep.Failed != 0 {
+		t.Fatalf("fixture report = %d requests / %d failed, want 3/0: %s", rep.Requests, rep.Failed, repData)
+	}
+	hit := false
+	for _, row := range rep.Results {
+		if row.CacheHit {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Fatalf("no cache hit on the duplicate fixture scenario: %s", repData)
+	}
+
+	// A repeat over the single-predict endpoint is a cache hit too.
+	resp, err = client.Post(base+"/v1/predict", "application/json",
+		strings.NewReader(`{"workload":"DLRM_DDP","batch":512,"device":"V100"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var row serve.Result
+	if err := json.NewDecoder(resp.Body).Decode(&row); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !row.CacheHit || row.Error != "" {
+		t.Fatalf("repeat predict = %d, row %+v; want 200 with a cache hit", resp.StatusCode, row)
+	}
+
+	// Backpressure: P100 is cold, so its first request parks the single
+	// worker in calibration while the 1-deep queue fills; concurrent
+	// singles must shed with 429 + Retry-After.
+	const burst = 6
+	codes := make([]int, burst)
+	retryAfter := make([]string, burst)
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := client.Post(base+"/v1/predict", "application/json",
+				strings.NewReader(`{"workload":"DLRM_default","batch":512,"device":"P100"}`))
+			if err != nil {
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			codes[i] = resp.StatusCode
+			retryAfter[i] = resp.Header.Get("Retry-After")
+		}(i)
+	}
+	wg.Wait()
+	got429 := 0
+	for i, c := range codes {
+		if c == http.StatusTooManyRequests {
+			got429++
+			if retryAfter[i] == "" {
+				t.Error("429 without a Retry-After header")
+			}
+		}
+	}
+	if got429 == 0 {
+		t.Fatalf("no 429 in a %d-request burst against a busy 1-deep queue: codes %v", burst, codes)
+	}
+
+	// Accounting invariant over everything served so far.
+	var st serve.Stats
+	if code := getJSON("/stats", &st); code != http.StatusOK {
+		t.Fatalf("/stats = %d, want 200", code)
+	}
+	if got := st.Cache.Hits + st.Cache.Misses + st.Rejected.Total(); got != st.Requests {
+		t.Fatalf("stats invariant broken: hits %d + misses %d + rejected %d = %d, requests %d\n%+v",
+			st.Cache.Hits, st.Cache.Misses, st.Rejected.Total(), got, st.Requests, st)
+	}
+	if st.Rejected.QueueFull == 0 {
+		t.Fatalf("queue-full rejections not counted: %+v", st.Rejected)
+	}
+
+	// Clean SIGTERM drain: exit 0, assets re-saved for served devices.
+	// Wait for the stderr scanner to hit EOF (process closed its end)
+	// before cmd.Wait, which closes the pipe.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-scanDone:
+	case <-time.After(2 * time.Minute):
+		t.Fatalf("server stderr never closed after SIGTERM; stderr:\n%s", tail())
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("SIGTERM drain exited non-zero: %v; stderr:\n%s", err, tail())
+		}
+	case <-time.After(2 * time.Minute):
+		t.Fatalf("server never exited after SIGTERM; stderr:\n%s", tail())
+	}
+	if _, err := os.Stat(filepath.Join(assetsDir, "V100.json")); err != nil {
+		t.Errorf("drain did not re-save V100 assets: %v", err)
+	}
+	entries, err := os.ReadDir(assetsDir)
+	if err != nil {
+		t.Fatalf("assets dir missing after drain: %v", err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	t.Logf("drained cleanly; saved assets: %v", names)
+}

@@ -1,105 +1,65 @@
-// Command dlrmperf-serve is the batched multi-device prediction driver:
-// it reads a JSON list of scenario prediction requests, serves them all
-// through one concurrent engine — each device calibrates at most once,
-// lazily, and repeated scenarios are served from the engine's result
-// cache — and emits a JSON report. It is the "calibrate once per
-// device, predict anywhere at scale" scenario of the paper run as a
-// single heavy-traffic batch, extended to the §VI multi-GPU future
-// work.
+// Command dlrmperf-serve is the prediction service driver. It runs in
+// two modes over the same serving pipeline (internal/serve): a
+// long-lived async HTTP server, and a one-shot batch runner.
 //
-// Usage:
-//
-//	dlrmperf-serve -in requests.json -o report.json
+//	dlrmperf-serve -listen :8080                   # HTTP service
+//	dlrmperf-serve -in requests.json -o report.json # one-shot batch
 //	dlrmperf-serve -in requests.json -assets v100.json,p100.json
 //	dlrmperf-serve -gen 24 | dlrmperf-serve -save-assets assets/
 //
-// The request file is a JSON array; each entry names either a built-in
-// workload or a registered scenario, with an optional execution width:
+// Both modes serve through one concurrent engine — each device
+// calibrates at most once, lazily, and repeated scenarios are served
+// from the engine's result cache — behind a bounded admission queue
+// with backpressure. In HTTP mode the endpoints are:
+//
+//	POST /v1/predict        one request -> one result row; 429 + Retry-After when the queue is full
+//	POST /v1/predict/batch  request list -> full report (admission blocks instead of shedding)
+//	GET  /v1/scenarios      registered scenario names
+//	GET  /healthz           liveness (503 while draining)
+//	GET  /stats             admission/stream/cache/asset counters
+//
+// SIGTERM/SIGINT drain gracefully: in-flight requests finish, new
+// admissions are rejected, and -save-assets (if set) re-saves every
+// device that served before the process exits.
+//
+// The request schema is shared by the file fixture and both POST
+// bodies; each entry names a built-in workload or a registered
+// scenario, with an optional execution width and per-request deadline:
 //
 //	[
 //	  {"workload": "DLRM_default", "batch": 2048, "device": "V100"},
 //	  {"workload": "DLRM_MLPerf",  "batch": 1024, "device": "P100", "shared": true},
 //	  {"scenario": "dlrm-criteo",  "batch": 2048, "device": "V100", "gpus": 4},
-//	  {"scenario": "dlrm-uniform-2gpu", "device": "V100", "comm": "pcie"}
+//	  {"scenario": "dlrm-uniform-2gpu", "device": "V100", "comm": "pcie", "timeout_ms": 500}
 //	]
 //
 // Multi-GPU entries (gpus >= 2, or a *-Ngpu scenario) run the
 // hybrid-parallel path: dense layers data-parallel, embedding tables
 // sharded by the greedy planner, collectives priced by the named comm
-// model. The report carries per-request scaling efficiency and the
-// engine's cache hit/miss counters.
+// model.
 //
 // -gen N skips serving and instead writes a round-robin request list
 // covering every workload and device, for smoke tests and benchmarks.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
-	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"dlrmperf"
+	"dlrmperf/internal/serve"
 )
-
-// wireRequest is the on-disk request format.
-type wireRequest struct {
-	Workload string `json:"workload,omitempty"`
-	Scenario string `json:"scenario,omitempty"`
-	Batch    int64  `json:"batch,omitempty"`
-	Device   string `json:"device"`
-	GPUs     int    `json:"gpus,omitempty"`
-	Comm     string `json:"comm,omitempty"`
-	Shared   bool   `json:"shared,omitempty"`
-}
-
-// wireResult is one row of the report.
-type wireResult struct {
-	wireRequest
-	E2EUs             float64 `json:"e2e_us,omitempty"`
-	ActiveUs          float64 `json:"active_us,omitempty"`
-	CPUUs             float64 `json:"cpu_us,omitempty"`
-	GPUsUsed          int     `json:"gpus_used,omitempty"`
-	ScalingEfficiency float64 `json:"scaling_efficiency,omitempty"`
-	AllReduceUs       float64 `json:"allreduce_us,omitempty"`
-	AllToAllUs        float64 `json:"alltoall_us,omitempty"`
-	ShardImbalance    float64 `json:"shard_imbalance,omitempty"`
-	CacheHit          bool    `json:"cache_hit,omitempty"`
-	Error             string  `json:"error,omitempty"`
-}
-
-// reportError is the structured failure entry emitted when the whole
-// batch fails (paired with a non-zero exit).
-type reportError struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
-}
-
-// cacheStats mirrors the engine's prediction result cache counters.
-// hits + misses equals the requests the engine served; rejected counts
-// requests the engine refused at validation.
-type cacheStats struct {
-	Hits     uint64 `json:"hits"`
-	Misses   uint64 `json:"misses"`
-	Rejected uint64 `json:"rejected"`
-}
-
-// report is the full output document.
-type report struct {
-	Results      []wireResult        `json:"results"`
-	Requests     int                 `json:"requests"`
-	Failed       int                 `json:"failed"`
-	ElapsedMs    float64             `json:"elapsed_ms"`
-	Calibrations map[string]int      `json:"calibrations"`
-	Cache        cacheStats          `json:"cache"`
-	Assets       dlrmperf.AssetStats `json:"assets"`
-	Error        *reportError        `json:"error,omitempty"`
-}
 
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "dlrmperf-serve:", err)
@@ -110,11 +70,18 @@ func main() {
 	in := flag.String("in", "-", "request JSON path (- for stdin)")
 	out := flag.String("o", "-", "report JSON path (- for stdout)")
 	seed := flag.Uint64("seed", 2022, "engine seed")
-	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "engine worker pool size (0 = GOMAXPROCS)")
 	assets := flag.String("assets", "", "comma-separated warm-start asset files from a previous -save-assets run")
 	saveAssets := flag.String("save-assets", "", "directory to write per-device asset files after serving")
 	gen := flag.Int("gen", 0, "instead of serving, emit N round-robin requests covering every workload and device")
 	listScenarios := flag.Bool("scenarios", false, "list the registered scenario names and exit")
+	listen := flag.String("listen", "", "serve HTTP on this address (e.g. :8080) instead of running a one-shot batch")
+	queueDepth := flag.Int("queue", 64, "admission queue depth; a full queue rejects POST /v1/predict with 429")
+	streamWorkers := flag.Int("stream-workers", 0, "concurrent request executions (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "default per-request deadline (0 = none); a request's timeout_ms can only tighten it")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on 429/503 responses")
+	drainGrace := flag.Duration("drain-grace", 30*time.Second, "HTTP shutdown grace period after SIGTERM")
+	fastCalib := flag.Bool("fast-calib", false, "low-fidelity calibration (eighth-size sweeps, tiny networks) for smoke tests and CI")
 	flag.Parse()
 
 	if *listScenarios {
@@ -128,27 +95,48 @@ func main() {
 		return
 	}
 
+	cfg := serveConfig{
+		Engine:     engineConfig(*seed, *workers, *fastCalib),
+		AssetPaths: splitPaths(*assets),
+		SaveAssets: *saveAssets,
+		Stream: serve.Config{
+			QueueDepth:     *queueDepth,
+			Workers:        *streamWorkers,
+			RequestTimeout: *timeout,
+			RetryAfter:     *retryAfter,
+		},
+		DrainGrace: *drainGrace,
+	}
+
+	if *listen != "" {
+		if err := listenAndServe(cfg, *listen); err != nil {
+			fail(err)
+		}
+		return
+	}
+
 	reqs, err := readRequests(*in)
 	if err != nil {
 		fail(err)
 	}
-	rep, err := serve(serveConfig{
-		Engine:     dlrmperf.EngineConfig{Seed: *seed, Workers: *workers},
-		AssetPaths: splitPaths(*assets),
-		SaveAssets: *saveAssets,
-	}, reqs)
-	if err != nil {
-		fail(err)
+	rep, serveErr := serveOnce(cfg, reqs)
+	// The report is written even when post-serve work failed, so the
+	// rows that did serve are never lost; the failure still reaches the
+	// exit code below.
+	if rep != nil {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		if err := writeOut(*out, append(data, '\n')); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "served %d requests (%d failed) in %.1f ms, calibrations: %v, cache %d/%d hit/miss\n",
+			rep.Requests, rep.Failed, rep.ElapsedMs, rep.Calibrations, rep.Cache.Hits, rep.Cache.Misses)
 	}
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fail(err)
+	if serveErr != nil {
+		fail(serveErr)
 	}
-	if err := writeOut(*out, append(data, '\n')); err != nil {
-		fail(err)
-	}
-	fmt.Fprintf(os.Stderr, "served %d requests (%d failed) in %.1f ms, calibrations: %v, cache %d/%d hit/miss\n",
-		rep.Requests, rep.Failed, rep.ElapsedMs, rep.Calibrations, rep.Cache.Hits, rep.Cache.Misses)
 	if rep.Error != nil {
 		fail(fmt.Errorf("%s: %s", rep.Error.Code, rep.Error.Message))
 	}
@@ -161,6 +149,20 @@ type serveConfig struct {
 	// SaveAssets names a directory to write per-device asset files into
 	// after serving ("" disables).
 	SaveAssets string
+	// Stream configures the admission queue and worker pool.
+	Stream serve.Config
+	// DrainGrace bounds the HTTP shutdown wait after a signal.
+	DrainGrace time.Duration
+}
+
+// engineConfig assembles the engine options of a run. fast selects the
+// low-fidelity calibration preset (dlrmperf.FastCalibConfig) used by
+// smoke tests and CI.
+func engineConfig(seed uint64, workers int, fast bool) dlrmperf.EngineConfig {
+	if fast {
+		return dlrmperf.FastCalibConfig(seed, workers)
+	}
+	return dlrmperf.EngineConfig{Seed: seed, Workers: workers}
 }
 
 func splitPaths(csv string) []string {
@@ -173,10 +175,8 @@ func splitPaths(csv string) []string {
 	return out
 }
 
-// serve runs the whole request batch through one engine and assembles
-// the report, optionally warm-starting from asset files and re-saving
-// assets afterwards.
-func serve(cfg serveConfig, reqs []wireRequest) (*report, error) {
+// newEngine builds the engine and applies warm-start asset files.
+func newEngine(cfg serveConfig) (*dlrmperf.Engine, error) {
 	eng, err := dlrmperf.NewEngineWith(cfg.Engine)
 	if err != nil {
 		return nil, err
@@ -190,94 +190,123 @@ func serve(cfg serveConfig, reqs []wireRequest) (*report, error) {
 			return nil, fmt.Errorf("loading %s: %w", path, err)
 		}
 	}
+	return eng, nil
+}
 
-	preqs := make([]dlrmperf.PredictRequest, len(reqs))
-	for i, r := range reqs {
-		preqs[i] = dlrmperf.PredictRequest{
-			Workload: r.Workload, Scenario: r.Scenario, Batch: r.Batch,
-			Device: r.Device, GPUs: r.GPUs, Comm: r.Comm, SharedOverheads: r.Shared,
-		}
-	}
-	start := time.Now()
-	results := eng.PredictBatch(preqs)
-	elapsed := time.Since(start)
+// newServer wires the engine behind the admission pipeline.
+func newServer(cfg serveConfig, eng *dlrmperf.Engine) *serve.Server {
+	sc := cfg.Stream
+	sc.Backend = eng
+	return serve.New(sc)
+}
 
-	rep := &report{
-		Requests:     len(reqs),
-		ElapsedMs:    float64(elapsed.Microseconds()) / 1000,
-		Calibrations: map[string]int{},
+// serveOnce runs the whole request batch through the serving pipeline
+// and assembles the report, optionally warm-starting from asset files
+// and re-saving assets afterwards. A re-save failure is reported in
+// the returned report's error block AND as a non-nil error, so the
+// driver exits non-zero instead of silently dropping the assets.
+func serveOnce(cfg serveConfig, reqs []serve.Request) (*serve.Report, error) {
+	eng, err := newEngine(cfg)
+	if err != nil {
+		return nil, err
 	}
-	// served collects every device that successfully served at least one
-	// request — the set whose assets are worth saving. Keying the save
-	// loop on calibration counts would silently skip warm-started
-	// devices, losing any overhead DBs collected this run.
-	served := map[string]bool{}
-	for i, res := range results {
-		row := wireResult{wireRequest: reqs[i]}
-		if res.Err != nil {
-			row.Error = res.Err.Error()
-			rep.Failed++
-		} else {
-			row.E2EUs = res.Prediction.E2EUs
-			row.ActiveUs = res.Prediction.ActiveUs
-			row.CPUUs = res.Prediction.CPUUs
-			row.GPUsUsed = res.GPUs
-			row.ScalingEfficiency = res.ScalingEfficiency
-			row.AllReduceUs = res.AllReduceUs
-			row.AllToAllUs = res.AllToAllUs
-			row.ShardImbalance = res.ShardImbalance
-			row.CacheHit = res.CacheHit
-			served[reqs[i].Device] = true
+	srv := newServer(cfg, eng)
+	rep := srv.Run(context.Background(), reqs)
+	srv.Drain()
+	if err := saveAssetsFor(eng, cfg.SaveAssets, srv.ServedDevices()); err != nil {
+		err = fmt.Errorf("saving assets: %w", err)
+		if rep.Error == nil {
+			rep.Error = &serve.ReportError{Code: "save_assets_failed", Message: err.Error()}
 		}
-		rep.Results = append(rep.Results, row)
-	}
-	for _, d := range eng.Devices() {
-		if n := eng.CalibrationRuns(d); n > 0 {
-			rep.Calibrations[d] = n
-		}
-	}
-	rep.Cache.Hits, rep.Cache.Misses = eng.CacheStats()
-	rep.Cache.Rejected = eng.RejectedRequests()
-	rep.Assets = eng.AssetStats()
-	if rep.Failed == rep.Requests {
-		rep.Error = &reportError{
-			Code:    "all_requests_failed",
-			Message: fmt.Sprintf("all %d requests failed; first error: %s", rep.Requests, rep.Results[0].Error),
-		}
-	}
-
-	if cfg.SaveAssets != "" {
-		if err := os.MkdirAll(cfg.SaveAssets, 0o755); err != nil {
-			return nil, err
-		}
-		devices := make([]string, 0, len(served))
-		for d := range served {
-			devices = append(devices, d)
-		}
-		sort.Strings(devices)
-		for _, d := range devices {
-			data, err := eng.SaveAssets(d)
-			if err != nil {
-				return nil, err
-			}
-			name := strings.ReplaceAll(d, " ", "_") + ".json"
-			if err := os.WriteFile(filepath.Join(cfg.SaveAssets, name), data, 0o644); err != nil {
-				return nil, err
-			}
-		}
+		return rep, err
 	}
 	return rep, nil
+}
+
+// saveAssetsFor writes one asset file per served device into dir.
+// Warm-started devices are included: the served set, not calibration
+// counts, is the criterion, so overhead DBs collected this run are
+// never silently dropped.
+func saveAssetsFor(eng *dlrmperf.Engine, dir string, devices []string) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, d := range devices {
+		data, err := eng.SaveAssets(d)
+		if err != nil {
+			return err
+		}
+		name := strings.ReplaceAll(d, " ", "_") + ".json"
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// listenAndServe runs the HTTP service until a SIGTERM/SIGINT, then
+// drains gracefully: the listener stops, in-flight requests finish,
+// new admissions are rejected, and assets are re-saved if requested.
+// A failed asset re-save propagates to the exit code.
+func listenAndServe(cfg serveConfig, addr string) error {
+	eng, err := newEngine(cfg)
+	if err != nil {
+		return err
+	}
+	srv := newServer(cfg, eng)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "dlrmperf-serve: listening on %s\n", ln.Addr())
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		return err
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "dlrmperf-serve: %v: draining\n", s)
+	}
+
+	// Drain order: the admission queue first (new submits reject, every
+	// admitted request finishes and is delivered), then the HTTP server
+	// (handlers are now unblocked, Shutdown just closes the listener and
+	// idle connections).
+	srv.Drain()
+	shutCtx, cancel := context.WithTimeout(context.Background(), cfg.DrainGrace)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "dlrmperf-serve: http shutdown: %v\n", err)
+	}
+
+	if err := saveAssetsFor(eng, cfg.SaveAssets, srv.ServedDevices()); err != nil {
+		return fmt.Errorf("saving assets: %w", err)
+	}
+	st := srv.Stats()
+	fmt.Fprintf(os.Stderr,
+		"dlrmperf-serve: drained; %d requests, cache %d/%d hit/miss, rejected %d validation / %d queue-full / %d draining, canceled %d\n",
+		st.Requests, st.Cache.Hits, st.Cache.Misses,
+		st.Rejected.Validation, st.Rejected.QueueFull, st.Rejected.Draining, st.Canceled)
+	return nil
 }
 
 // generate writes a round-robin request list covering every workload on
 // every device across a spread of batch sizes.
 func generate(n int, out string) {
 	batches := []int64{512, 1024, 2048, 4096}
-	var reqs []wireRequest
+	var reqs []serve.Request
 	devices := dlrmperf.Devices()
 	workloads := dlrmperf.Workloads()
 	for i := 0; i < n; i++ {
-		reqs = append(reqs, wireRequest{
+		reqs = append(reqs, serve.Request{
 			Workload: workloads[i%len(workloads)],
 			Device:   devices[(i/len(workloads))%len(devices)],
 			Batch:    batches[(i/(len(workloads)*len(devices)))%len(batches)],
@@ -292,7 +321,7 @@ func generate(n int, out string) {
 	}
 }
 
-func readRequests(path string) ([]wireRequest, error) {
+func readRequests(path string) ([]serve.Request, error) {
 	var data []byte
 	var err error
 	if path == "-" {
@@ -303,7 +332,7 @@ func readRequests(path string) ([]wireRequest, error) {
 	if err != nil {
 		return nil, err
 	}
-	var reqs []wireRequest
+	var reqs []serve.Request
 	if err := json.Unmarshal(data, &reqs); err != nil {
 		return nil, fmt.Errorf("parsing requests: %w", err)
 	}

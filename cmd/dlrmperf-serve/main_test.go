@@ -4,31 +4,19 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"dlrmperf"
-	"dlrmperf/internal/kernels"
-	"dlrmperf/internal/microbench"
-	"dlrmperf/internal/mlp"
-	"dlrmperf/internal/perfmodel"
+	"dlrmperf/internal/serve"
 )
 
-// tinyEngineConfig keeps the serve tests fast: eighth-size sweeps and a
-// single tiny network per ML-based kernel family, so calibration takes
-// fractions of a second instead of minutes.
+// tinyEngineConfig keeps the serve tests fast: the driver's -fast-calib
+// fidelity (eighth-size sweeps, a single tiny network per ML-based
+// kernel family), so calibration takes fractions of a second instead of
+// minutes.
 func tinyEngineConfig() dlrmperf.EngineConfig {
-	sizes := map[kernels.Kind]int{}
-	for k, n := range microbench.DefaultSweepSizes() {
-		sizes[k] = n / 8
-	}
-	return dlrmperf.EngineConfig{
-		Seed:    17,
-		Workers: 4,
-		Calib: perfmodel.CalibOptions{
-			SweepSizes: sizes, Ensemble: 1,
-			MLPConfig: mlp.Config{HiddenLayers: 1, Width: 16, Optimizer: mlp.Adam, LR: 3e-3, Epochs: 10, BatchSize: 64},
-		},
-	}
+	return engineConfig(17, 4, true)
 }
 
 // wireAssets mirrors the engine's serialized asset schema for
@@ -70,12 +58,12 @@ func TestWarmStartServeResaveRoundTrip(t *testing.T) {
 
 	// Warm-started serve: collects the DLRM_default overhead DB on the
 	// fly and re-saves.
-	reqs := []wireRequest{
+	reqs := []serve.Request{
 		{Workload: "DLRM_default", Batch: 512, Device: dlrmperf.V100},
 		{Workload: "DLRM_default", Batch: 512, Device: dlrmperf.V100},
 	}
 	saveDir := filepath.Join(dir, "resave")
-	rep, err := serve(serveConfig{
+	rep, err := serveOnce(serveConfig{
 		Engine:     tinyEngineConfig(),
 		AssetPaths: []string{assetPath},
 		SaveAssets: saveDir,
@@ -114,7 +102,7 @@ func TestWarmStartServeResaveRoundTrip(t *testing.T) {
 
 	// Serving again from the re-saved assets reproduces the prediction
 	// bit-for-bit without calibrating or re-profiling.
-	rep2, err := serve(serveConfig{
+	rep2, err := serveOnce(serveConfig{
 		Engine:     tinyEngineConfig(),
 		AssetPaths: []string{filepath.Join(saveDir, "V100.json")},
 	}, reqs[:1])
@@ -135,14 +123,14 @@ func TestWarmStartServeResaveRoundTrip(t *testing.T) {
 // requests stay out of them, and the assets block carries all five
 // classes.
 func TestServeReportInvariants(t *testing.T) {
-	reqs := []wireRequest{
+	reqs := []serve.Request{
 		{Workload: "DLRM_default", Batch: 512, Device: dlrmperf.V100},
 		{Workload: "DLRM_default", Batch: 512, Device: dlrmperf.V100}, // duplicate: cache hit
 		{Workload: "no_such_model", Batch: 512, Device: dlrmperf.V100},
 		// comm on a single-device spec: rejected at engine validation.
 		{Workload: "DLRM_default", Batch: 512, Device: dlrmperf.V100, Comm: "pcie"},
 	}
-	rep, err := serve(serveConfig{Engine: tinyEngineConfig()}, reqs)
+	rep, err := serveOnce(serveConfig{Engine: tinyEngineConfig()}, reqs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,6 +149,11 @@ func TestServeReportInvariants(t *testing.T) {
 		t.Errorf("cache invariant broken: %d+%d+%d != %d requests",
 			rep.Cache.Hits, rep.Cache.Misses, rep.Cache.Rejected, rep.Requests)
 	}
+	// The rejected block separates the walls: a validation reject here,
+	// no queue-full or draining rejections in a blocking one-shot run.
+	if rep.Rejected.Validation != 1 || rep.Rejected.QueueFull != 0 || rep.Rejected.Draining != 0 {
+		t.Errorf("rejected = %+v, want validation 1, queue-full 0, draining 0", rep.Rejected)
+	}
 	want := map[string]bool{"calibrations": true, "runs": true, "overheads": true, "graphs": true, "results": true}
 	for _, c := range rep.Assets.Classes {
 		delete(want, c.Class)
@@ -170,5 +163,39 @@ func TestServeReportInvariants(t *testing.T) {
 	}
 	if rep.Assets.TotalBytes <= 0 {
 		t.Errorf("assets total bytes = %d, want > 0", rep.Assets.TotalBytes)
+	}
+}
+
+// TestSaveAssetsFailurePropagates is the exit-code bugfix: when
+// -save-assets cannot write, serveOnce must return BOTH the report —
+// with a structured save_assets_failed error block, so the rows that
+// served are not lost — and a non-nil error that the driver turns into
+// a non-zero exit.
+func TestSaveAssetsFailurePropagates(t *testing.T) {
+	dir := t.TempDir()
+	// A regular file where the save directory should go: MkdirAll fails.
+	blocker := filepath.Join(dir, "not-a-dir")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reqs := []serve.Request{{Workload: "DLRM_default", Batch: 512, Device: dlrmperf.V100}}
+	rep, err := serveOnce(serveConfig{
+		Engine:     tinyEngineConfig(),
+		SaveAssets: blocker,
+	}, reqs)
+	if err == nil {
+		t.Fatal("save-assets failure did not propagate an error")
+	}
+	if !strings.Contains(err.Error(), "saving assets") {
+		t.Errorf("error = %v, want a saving-assets failure", err)
+	}
+	if rep == nil {
+		t.Fatal("report dropped on save failure; served rows lost")
+	}
+	if rep.Failed != 0 || len(rep.Results) != 1 || rep.Results[0].E2EUs <= 0 {
+		t.Errorf("served rows corrupted by save failure: %+v", rep.Results)
+	}
+	if rep.Error == nil || rep.Error.Code != "save_assets_failed" {
+		t.Errorf("report error block = %+v, want code save_assets_failed", rep.Error)
 	}
 }

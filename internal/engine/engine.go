@@ -17,10 +17,12 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dlrmperf/internal/hw"
 	"dlrmperf/internal/models"
@@ -150,6 +152,53 @@ type Engine struct {
 	cacheHits   atomic.Uint64
 	cacheMisses atomic.Uint64
 	rejected    atomic.Uint64
+
+	// Stream counters behind StreamStats: requests concurrently inside
+	// Predict (and the high-water mark), requests completed, requests
+	// abandoned by context cancellation, and wall-clock latency totals.
+	// They are observability only — no prediction depends on them — so
+	// the wall-clock reads do not break bit-determinism.
+	inFlight     atomic.Int64
+	peakInFlight atomic.Int64
+	served       atomic.Uint64
+	canceled     atomic.Uint64
+	latencyUs    atomic.Int64
+	maxLatencyUs atomic.Int64
+}
+
+// StreamStats is the engine's async-stream observability block: the
+// number of requests currently inside the predict path, its high-water
+// mark, completed/canceled totals, and wall-clock latency aggregates.
+// Served equals CacheStats' hits+misses — every validated request is
+// accounted exactly once, including ones whose caller abandoned the
+// wait (Canceled, a subset of misses).
+type StreamStats struct {
+	InFlight     int64  `json:"in_flight"`
+	PeakInFlight int64  `json:"peak_in_flight"`
+	Served       uint64 `json:"served"`
+	Canceled     uint64 `json:"canceled"`
+	TotalUs      int64  `json:"total_latency_us"`
+	MaxUs        int64  `json:"max_latency_us"`
+}
+
+// AvgUs is the mean per-request wall-clock latency in microseconds.
+func (s StreamStats) AvgUs() float64 {
+	if s.Served == 0 {
+		return 0
+	}
+	return float64(s.TotalUs) / float64(s.Served)
+}
+
+// StreamStats returns the engine's async-stream counters.
+func (e *Engine) StreamStats() StreamStats {
+	return StreamStats{
+		InFlight:     e.inFlight.Load(),
+		PeakInFlight: e.peakInFlight.Load(),
+		Served:       e.served.Load(),
+		Canceled:     e.canceled.Load(),
+		TotalUs:      e.latencyUs.Load(),
+		MaxUs:        e.maxLatencyUs.Load(),
+	}
 }
 
 // New returns an empty engine; no calibration runs until an asset is
@@ -422,6 +471,12 @@ func (e *Engine) CacheStats() (hits, misses uint64) {
 // before reaching the compute path (and therefore the cache counters).
 func (e *Engine) RejectedRequests() uint64 { return e.rejected.Load() }
 
+// RejectRequest tallies a request a front end refused before it could
+// become an engine request (the facade's device-set check and scenario
+// resolution). Counting those here keeps the serving-layer invariant —
+// hits + misses + rejected == requests dispatched — on every path.
+func (e *Engine) RejectRequest() { e.rejected.Add(1) }
+
 // CachedResults reports the resident result-cache entry count.
 func (e *Engine) CachedResults() int {
 	if e.results == nil {
@@ -451,9 +506,39 @@ func (e *Engine) AssetStats() AssetStats {
 // Results are cached by scenario fingerprint: repeats are served from
 // memory, and identical concurrent requests share one computation.
 func (e *Engine) Predict(req Request) Result {
+	return e.PredictCtx(context.Background(), req)
+}
+
+// PredictCtx is Predict with a caller deadline: when ctx expires the
+// caller gets ctx.Err() immediately, but the computation it initiated
+// (or joined) keeps running detached and lands in the result cache, so
+// a canceled request never poisons the singleflight entry or wastes
+// the work for the next identical request. Canceled requests count as
+// cache misses (they reached the compute path without being served
+// from memory) plus the separate StreamStats.Canceled counter, keeping
+// hits + misses == requests served on every path. With the result
+// cache disabled (negative ResultCacheSize) there is no flight to
+// detach from: ctx is only observed at entry and the computation runs
+// inline on the caller — the historical cold-ablation behavior.
+func (e *Engine) PredictCtx(ctx context.Context, req Request) Result {
 	res := Result{Request: req}
 	if err := req.Scenario.Validate(); err != nil {
 		e.rejected.Add(1)
+		res.Err = err
+		return res
+	}
+	start := time.Now()
+	xsync.AtomicMax(&e.peakInFlight, e.inFlight.Add(1))
+	defer func() {
+		e.inFlight.Add(-1)
+		us := time.Since(start).Microseconds()
+		e.latencyUs.Add(us)
+		xsync.AtomicMax(&e.maxLatencyUs, us)
+		e.served.Add(1)
+	}()
+	if err := ctx.Err(); err != nil {
+		e.cacheMisses.Add(1)
+		e.canceled.Add(1)
 		res.Err = err
 		return res
 	}
@@ -472,7 +557,7 @@ func (e *Engine) Predict(req Request) Result {
 		return res.fill(c.(cached), true)
 	}
 	executed := false
-	got, err := e.flight.Do("predict/"+key, func() (any, error) {
+	got, err := e.flight.DoCtx(ctx, "predict/"+key, func() (any, error) {
 		if c, ok := e.results.get(key); ok {
 			return c, nil
 		}
@@ -488,8 +573,11 @@ func (e *Engine) Predict(req Request) Result {
 		// The executing caller and every joiner of the failed flight
 		// reached the compute path without being served from memory:
 		// count them all as misses so hits+misses keeps equaling the
-		// requests served even on error paths.
+		// requests served even on error and cancellation paths.
 		e.cacheMisses.Add(1)
+		if ctx.Err() != nil && err == ctx.Err() {
+			e.canceled.Add(1)
+		}
 		res.Err = err
 		return res
 	}
@@ -516,9 +604,17 @@ func (r Result) fill(c cached, hit bool) Result {
 // once, and duplicate scenarios compute at most once, no matter how
 // many requests land concurrently.
 func (e *Engine) PredictBatch(reqs []Request) []Result {
+	return e.PredictBatchCtx(context.Background(), reqs)
+}
+
+// PredictBatchCtx is PredictBatch under a shared caller deadline: every
+// request observes ctx the way PredictCtx does, so canceling the
+// context abandons the whole batch without poisoning any in-flight
+// computation.
+func (e *Engine) PredictBatchCtx(ctx context.Context, reqs []Request) []Result {
 	out := make([]Result, len(reqs))
 	xsync.ForEachN(len(reqs), e.opts.Workers, func(i int) {
-		out[i] = e.Predict(reqs[i])
+		out[i] = e.PredictCtx(ctx, reqs[i])
 	})
 	return out
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 )
@@ -56,4 +57,61 @@ func (g *group) Do(key string, fn func() (any, error)) (any, error) {
 	}()
 	c.val, c.err = fn()
 	return c.val, c.err
+}
+
+// DoCtx is the async-stream variant of Do: fn executes on its own
+// goroutine, detached from every caller, so a caller whose context
+// expires can abandon the wait without aborting (or poisoning) the
+// shared computation — the flight runs to completion, its result is
+// stored by fn's own side effects, and later requests for the same key
+// hit it. When ctx wins the race the returned error is ctx.Err() and
+// val is nil; the flight itself is unaffected. Callers that need
+// executed-vs-joined accounting observe it through a flag set inside
+// fn (only the executing caller's closure runs), exactly as with Do.
+//
+// Unlike Do, a panicking fn cannot re-panic on a caller's goroutine
+// (the caller may already be gone), so panics surface as errors to
+// every waiter. Contexts that can never be canceled (ctx.Done() ==
+// nil, e.g. context.Background) take Do's inline path instead — no
+// detachment is possible, so the plain Predict/PredictBatch callers
+// pay no goroutine spawn and keep Do's re-panic behavior.
+func (g *group) DoCtx(ctx context.Context, key string, fn func() (any, error)) (any, error) {
+	if ctx.Done() == nil {
+		return g.Do(key, fn)
+	}
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = map[string]*call{}
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.val, c.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	c := &call{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				c.err = fmt.Errorf("engine: singleflight %q panicked: %v", key, r)
+			}
+			g.mu.Lock()
+			delete(g.calls, key)
+			g.mu.Unlock()
+			close(c.done)
+		}()
+		c.val, c.err = fn()
+	}()
+	select {
+	case <-c.done:
+		return c.val, c.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }

@@ -1,0 +1,180 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"dlrmperf/internal/hw"
+	"dlrmperf/internal/models"
+)
+
+// TestDoCtxDetachedCompletion is the no-poison contract of the
+// context-aware singleflight: a caller that abandons the wait leaves
+// the flight running to completion, exactly once, and the key is
+// usable again afterwards.
+func TestDoCtxDetachedCompletion(t *testing.T) {
+	var g group
+	block := make(chan struct{})
+	ran := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := g.DoCtx(ctx, "k", func() (any, error) {
+		<-block
+		close(ran)
+		return "v", nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoned caller error = %v, want context.Canceled", err)
+	}
+	close(block)
+	select {
+	case <-ran:
+	case <-time.After(5 * time.Second):
+		t.Fatal("detached flight never completed")
+	}
+	// The key is free again: a fresh call executes a fresh fn.
+	executed := false
+	v, err := g.DoCtx(context.Background(), "k", func() (any, error) {
+		executed = true
+		return "v2", nil
+	})
+	if err != nil || v != "v2" || !executed {
+		t.Fatalf("post-abandon call = (%v, %v, executed %v), want (v2, nil, true)", v, err, executed)
+	}
+}
+
+// TestPredictCtxCancelDoesNotPoison pins the serving-layer contract: a
+// request whose context is canceled mid-computation returns ctx.Err()
+// to its caller, is counted as a miss plus Canceled, and leaves the
+// singleflight entry clean — the next identical request computes (or
+// joins) normally, with the device still calibrating exactly once.
+// The in-flight computation is made deterministic by pre-occupying the
+// request's flight key with a test-controlled blocking flight.
+func TestPredictCtxCancelDoesNotPoison(t *testing.T) {
+	e := New(tinyOptions(11))
+	req := NewRequest(hw.V100, models.NameDLRMDefault, 256)
+	key := "predict/" + req.Key()
+
+	block := make(chan struct{})
+	started := make(chan struct{})
+	flightDone := make(chan struct{})
+	go func() {
+		defer close(flightDone)
+		_, _ = e.flight.Do(key, func() (any, error) {
+			close(started)
+			<-block
+			return nil, errors.New("test flight failed")
+		})
+	}()
+	<-started
+
+	// Join the blocked flight with a cancelable context, then abandon.
+	ctx, cancel := context.WithCancel(context.Background())
+	resCh := make(chan Result, 1)
+	go func() { resCh <- e.PredictCtx(ctx, req) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	res := <-resCh
+	if !errors.Is(res.Err, context.Canceled) {
+		t.Fatalf("canceled request error = %v, want context.Canceled", res.Err)
+	}
+	ss := e.StreamStats()
+	if ss.Canceled != 1 {
+		t.Fatalf("StreamStats.Canceled = %d, want 1", ss.Canceled)
+	}
+
+	// Release the blocked flight (it fails); the key must be clean: the
+	// next request computes for real and succeeds.
+	close(block)
+	<-flightDone
+	res2 := e.Predict(req)
+	if res2.Err != nil {
+		t.Fatalf("post-cancel request failed: %v", res2.Err)
+	}
+	if got := e.CalibrationRuns(hw.V100); got != 1 {
+		t.Fatalf("calibrations executed = %d, want 1", got)
+	}
+	hits, misses := e.CacheStats()
+	ss = e.StreamStats()
+	if hits+misses != ss.Served {
+		t.Fatalf("hits+misses = %d+%d, served = %d; invariant broken", hits, misses, ss.Served)
+	}
+	if ss.Served != 2 {
+		t.Fatalf("served = %d, want 2", ss.Served)
+	}
+}
+
+// TestPredictCtxDuplicateInFlight drives N concurrent identical
+// requests through PredictCtx and requires exactly one computation:
+// one miss, N-1 hits (joins or cache hits), one calibration, identical
+// predictions, and stream counters accounting for every caller.
+func TestPredictCtxDuplicateInFlight(t *testing.T) {
+	e := New(tinyOptions(13))
+	req := NewRequest(hw.V100, models.NameDLRMDefault, 256)
+	const n = 8
+	results := make([]Result, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = e.PredictCtx(context.Background(), req)
+		}(i)
+	}
+	wg.Wait()
+
+	computed := 0
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("request %d failed: %v", i, r.Err)
+		}
+		if r.Prediction.E2E != results[0].Prediction.E2E {
+			t.Fatalf("request %d prediction differs", i)
+		}
+		if !r.CacheHit {
+			computed++
+		}
+	}
+	if computed != 1 {
+		t.Fatalf("%d requests computed, want exactly 1", computed)
+	}
+	if got := e.CalibrationRuns(hw.V100); got != 1 {
+		t.Fatalf("calibrations executed = %d, want 1", got)
+	}
+	hits, misses := e.CacheStats()
+	if misses != 1 || hits != n-1 {
+		t.Fatalf("cache = %d/%d hit/miss, want %d/1", hits, misses, n-1)
+	}
+	ss := e.StreamStats()
+	if ss.Served != n || ss.InFlight != 0 {
+		t.Fatalf("stream = %+v, want served %d, in-flight 0", ss, n)
+	}
+	if ss.PeakInFlight < 1 || ss.PeakInFlight > n {
+		t.Fatalf("peak in-flight = %d, want within [1, %d]", ss.PeakInFlight, n)
+	}
+}
+
+// TestPredictCtxExpiredAtEntry covers the cheap path: a context that is
+// already done is rejected before any asset work, counted as a
+// canceled miss so the accounting invariant holds.
+func TestPredictCtxExpiredAtEntry(t *testing.T) {
+	e := New(tinyOptions(17))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := e.PredictCtx(ctx, NewRequest(hw.V100, models.NameDLRMDefault, 256))
+	if !errors.Is(res.Err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", res.Err)
+	}
+	if got := e.CalibrationRuns(hw.V100); got != 0 {
+		t.Fatalf("expired request calibrated the device (%d runs)", got)
+	}
+	hits, misses := e.CacheStats()
+	ss := e.StreamStats()
+	if hits != 0 || misses != 1 || ss.Canceled != 1 || ss.Served != 1 {
+		t.Fatalf("counters = hits %d misses %d canceled %d served %d, want 0/1/1/1",
+			hits, misses, ss.Canceled, ss.Served)
+	}
+}

@@ -1,0 +1,446 @@
+// Package serve is the async HTTP serving layer over the prediction
+// engine: a bounded admission queue with backpressure, a worker pool
+// draining it into the engine's concurrent predict path, per-request
+// deadlines threaded down as context cancellation, and a graceful
+// drain for clean shutdown. It is the layer that turns the one-shot
+// batch driver into a long-lived service: identical in-flight
+// scenarios still collapse through the engine's singleflight and
+// result cache, so an open-ended request stream pays for each distinct
+// scenario once.
+//
+// Endpoints (see Handler):
+//
+//	POST /v1/predict        one request  -> one result row (429 when the queue is full)
+//	POST /v1/predict/batch  request list -> full report (admission blocks instead of 429ing)
+//	GET  /v1/scenarios      registered scenario names
+//	GET  /healthz           liveness (503 while draining)
+//	GET  /stats             admission/stream/cache/asset counters
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dlrmperf"
+	"dlrmperf/internal/xsync"
+)
+
+// Backend is the engine surface the server drives — implemented by
+// *dlrmperf.Engine, narrowed to an interface so stream tests can
+// substitute a controllable fake.
+type Backend interface {
+	PredictContext(ctx context.Context, req dlrmperf.PredictRequest) dlrmperf.PredictResult
+	CacheStats() (hits, misses uint64)
+	RejectedRequests() uint64
+	AssetStats() dlrmperf.AssetStats
+	StreamStats() dlrmperf.StreamStats
+	Devices() []string
+	CalibrationRuns(device string) int
+}
+
+// Config parameterizes a Server.
+type Config struct {
+	Backend Backend
+	// QueueDepth bounds the admission queue; a full queue rejects
+	// non-blocking admissions with ErrQueueFull (HTTP 429). Default 64.
+	QueueDepth int
+	// Workers is the number of requests executed concurrently (the
+	// drain width of the queue). Default runtime.GOMAXPROCS.
+	Workers int
+	// RequestTimeout is the default per-request deadline (0 = none);
+	// a request's TimeoutMs can only tighten it. The clock starts at
+	// admission, so time spent queued counts against the deadline.
+	RequestTimeout time.Duration
+	// RetryAfter is the backpressure hint returned with 429/503
+	// responses. Default 1s.
+	RetryAfter time.Duration
+	// MaxBodyBytes bounds HTTP request bodies (default 16 MiB) so a
+	// single oversized POST cannot balloon memory before admission
+	// control even runs.
+	MaxBodyBytes int64
+	// MaxBatch bounds the rows accepted by one POST /v1/predict/batch
+	// (default 4096): the batch path admits by blocking, one goroutine
+	// per row, so the row count must be bounded for backpressure to
+	// bound anything.
+	MaxBatch int
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 16 << 20
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 4096
+	}
+	return c
+}
+
+// ErrQueueFull rejects a non-blocking admission when the queue is at
+// capacity — the backpressure signal behind HTTP 429.
+var ErrQueueFull = errors.New("serve: admission queue full")
+
+// ErrDraining rejects admissions while the server drains — the signal
+// behind HTTP 503 during shutdown.
+var ErrDraining = errors.New("serve: server draining")
+
+// job is one admitted request traveling the queue.
+type job struct {
+	ctx  context.Context
+	req  Request
+	done chan Result
+}
+
+// Server owns the admission queue and worker pool over one Backend.
+type Server struct {
+	cfg   Config
+	queue chan *job
+
+	workers sync.WaitGroup
+
+	// admitMu guards draining against jobs.Add, so Drain cannot start
+	// waiting while an admission is between its draining check and its
+	// queue send.
+	admitMu  sync.Mutex
+	draining bool
+	jobs     sync.WaitGroup
+	closed   sync.Once
+
+	received         atomic.Uint64
+	queueFullRejects atomic.Uint64
+	drainingRejects  atomic.Uint64
+	canceledAdmits   atomic.Uint64
+	peakQueue        atomic.Int64
+
+	servedMu   sync.Mutex
+	servedDevs map[string]bool
+}
+
+// New starts a server's worker pool over the backend. Callers must
+// Drain it when done.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:        cfg,
+		queue:      make(chan *job, cfg.QueueDepth),
+		servedDevs: map[string]bool{},
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for j := range s.queue {
+		j.done <- s.serveOne(j)
+	}
+}
+
+// serveOne executes one admitted request against the backend. The
+// job's context already carries the effective deadline (applied at
+// admission), so a request that spent its whole budget queued fails
+// fast inside the engine instead of computing past its deadline.
+func (s *Server) serveOne(j *job) Result {
+	res := resultFrom(j.req, s.cfg.Backend.PredictContext(j.ctx, j.req.ToPredict()))
+	if res.Error == "" {
+		s.servedMu.Lock()
+		s.servedDevs[j.req.Device] = true
+		s.servedMu.Unlock()
+	}
+	return res
+}
+
+// requestContext applies the request's effective deadline — the
+// smaller of the server default and the request's own timeout_ms —
+// starting now (admission time), so queue wait counts against it.
+func (s *Server) requestContext(ctx context.Context, req Request) (context.Context, context.CancelFunc) {
+	timeout := s.cfg.RequestTimeout
+	if req.TimeoutMs > 0 {
+		if rt := time.Duration(req.TimeoutMs) * time.Millisecond; timeout <= 0 || rt < timeout {
+			timeout = rt
+		}
+	}
+	if timeout <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, timeout)
+}
+
+// admit pushes one request through the queue and waits for its result.
+// With wait=false a full queue fails fast with ErrQueueFull; with
+// wait=true admission blocks until space frees (backpressure by
+// blocking — the batch path), failing with the context error if the
+// caller expires first (counted as a canceled admission, distinct
+// from queue-full: the client gave up, which can happen even with
+// queue space free).
+func (s *Server) admit(ctx context.Context, req Request, wait bool) (Result, error) {
+	s.received.Add(1)
+	s.admitMu.Lock()
+	if s.draining {
+		s.admitMu.Unlock()
+		s.drainingRejects.Add(1)
+		return Result{}, ErrDraining
+	}
+	s.jobs.Add(1)
+	s.admitMu.Unlock()
+
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := s.requestContext(ctx, req)
+	defer cancel()
+	j := &job{ctx: ctx, req: req, done: make(chan Result, 1)}
+	if wait {
+		select {
+		case s.queue <- j:
+		case <-ctx.Done():
+			s.jobs.Done()
+			s.canceledAdmits.Add(1)
+			return Result{}, ctx.Err()
+		}
+	} else {
+		select {
+		case s.queue <- j:
+		default:
+			s.jobs.Done()
+			s.queueFullRejects.Add(1)
+			return Result{}, ErrQueueFull
+		}
+	}
+	xsync.AtomicMax(&s.peakQueue, int64(len(s.queue)))
+	// The worker always delivers exactly one result (done is buffered,
+	// and workers drain every queued job before Drain stops them), and
+	// the job's context carries the deadline from admission, so this
+	// wait is bounded by the request's own deadline even while queued.
+	res := <-j.done
+	s.jobs.Done()
+	return res, nil
+}
+
+// TrySubmit admits one request without blocking: a full queue returns
+// ErrQueueFull immediately. This is the POST /v1/predict path.
+func (s *Server) TrySubmit(ctx context.Context, req Request) (Result, error) {
+	return s.admit(ctx, req, false)
+}
+
+// Submit admits one request, blocking while the queue is full. This is
+// the batch and one-shot path: a file of requests applies backpressure
+// by waiting instead of shedding load.
+func (s *Server) Submit(ctx context.Context, req Request) (Result, error) {
+	return s.admit(ctx, req, true)
+}
+
+// RunBatch drives a request list through the admission pipeline and
+// returns one row per request, in request order. Admission failures
+// (draining, caller expiry) surface in the failing row.
+func (s *Server) RunBatch(ctx context.Context, reqs []Request) []Result {
+	out := make([]Result, len(reqs))
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := s.Submit(ctx, reqs[i])
+			if err != nil {
+				res = Result{Request: reqs[i], Error: err.Error()}
+			}
+			out[i] = res
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// Run serves a whole request list and assembles its report — the
+// shared spine of the one-shot driver and POST /v1/predict/batch.
+func (s *Server) Run(ctx context.Context, reqs []Request) *Report {
+	start := time.Now()
+	results := s.RunBatch(ctx, reqs)
+	return s.Report(results, time.Since(start))
+}
+
+// Drain gracefully stops the server: new admissions are rejected with
+// ErrDraining, every admitted request (queued or executing) finishes
+// and is delivered, then the workers exit. Drain is idempotent and
+// safe to call concurrently.
+func (s *Server) Drain() {
+	s.admitMu.Lock()
+	s.draining = true
+	s.admitMu.Unlock()
+	s.jobs.Wait()
+	s.closed.Do(func() { close(s.queue) })
+	s.workers.Wait()
+}
+
+// Draining reports whether the server has started draining.
+func (s *Server) Draining() bool {
+	s.admitMu.Lock()
+	defer s.admitMu.Unlock()
+	return s.draining
+}
+
+// ServedDevices lists the devices that served at least one successful
+// request — the set worth re-saving assets for (warm-started devices
+// included, calibration counts are not the criterion).
+func (s *Server) ServedDevices() []string {
+	s.servedMu.Lock()
+	defer s.servedMu.Unlock()
+	out := make([]string, 0, len(s.servedDevs))
+	for d := range s.servedDevs {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats assembles the live counters of the admission queue, the
+// engine's stream/cache counters, and the asset store.
+func (s *Server) Stats() Stats {
+	b := s.cfg.Backend
+	hits, misses := b.CacheStats()
+	ss := b.StreamStats()
+	return Stats{
+		Requests: s.received.Load(),
+		Served:   ss.Served,
+		Canceled: ss.Canceled,
+		Rejected: RejectedStats{
+			Validation: b.RejectedRequests(),
+			QueueFull:  s.queueFullRejects.Load(),
+			Draining:   s.drainingRejects.Load(),
+			Canceled:   s.canceledAdmits.Load(),
+		},
+		Queue: QueueStats{
+			Depth:        len(s.queue),
+			PeakDepth:    s.peakQueue.Load(),
+			Capacity:     s.cfg.QueueDepth,
+			Workers:      s.cfg.Workers,
+			InFlight:     ss.InFlight,
+			PeakInFlight: ss.PeakInFlight,
+		},
+		Latency: LatencyStats{
+			AvgUs:   ss.AvgUs(),
+			MaxUs:   ss.MaxUs,
+			TotalUs: ss.TotalUs,
+		},
+		Cache: CacheStats{
+			Hits:     hits,
+			Misses:   misses,
+			Rejected: b.RejectedRequests(),
+		},
+		Assets:   b.AssetStats(),
+		Draining: s.Draining(),
+	}
+}
+
+// Handler returns the HTTP surface of the server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	mux.HandleFunc("POST /v1/predict/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+// httpError is the JSON error envelope of non-200 responses.
+type httpError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// retryAfterSeconds renders the backpressure hint, at least 1s.
+func (s *Server) retryAfterSeconds() string {
+	secs := int(s.cfg.RetryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprintf("%d", secs)
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{Code: "bad_request", Message: err.Error()})
+		return
+	}
+	res, err := s.TrySubmit(r.Context(), req)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
+		writeJSON(w, http.StatusTooManyRequests, httpError{Code: "queue_full", Message: err.Error()})
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
+		writeJSON(w, http.StatusServiceUnavailable, httpError{Code: "draining", Message: err.Error()})
+	case err != nil:
+		// Unreachable today — non-blocking admission fails only with the
+		// two sentinels above — kept as a defensive catch-all so a future
+		// admit error cannot masquerade as a 200.
+		writeJSON(w, http.StatusInternalServerError, httpError{Code: "internal", Message: err.Error()})
+	default:
+		writeJSON(w, http.StatusOK, res)
+	}
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var reqs []Request
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)).Decode(&reqs); err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{Code: "bad_request", Message: err.Error()})
+		return
+	}
+	if len(reqs) == 0 {
+		writeJSON(w, http.StatusBadRequest, httpError{Code: "bad_request", Message: "empty request list"})
+		return
+	}
+	if len(reqs) > s.cfg.MaxBatch {
+		writeJSON(w, http.StatusBadRequest, httpError{
+			Code:    "batch_too_large",
+			Message: fmt.Sprintf("batch of %d exceeds the %d-row limit; split it", len(reqs), s.cfg.MaxBatch),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Run(r.Context(), reqs))
+}
+
+func (s *Server) handleScenarios(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, dlrmperf.Scenarios())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}

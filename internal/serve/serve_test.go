@@ -1,0 +1,471 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dlrmperf"
+)
+
+// fakeBackend is a controllable Backend: requests whose workload is
+// "block" park on release until the test frees them (or their context
+// expires); "reject" fails validation. Counters follow the engine's
+// conventions (hits+misses == served, rejects separate) so Stats
+// invariants can be asserted against it.
+type fakeBackend struct {
+	release chan struct{}
+	started chan struct{} // one tick per request entering the blocked section
+
+	served   atomic.Uint64
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	rejected atomic.Uint64
+	canceled atomic.Uint64
+	inFlight atomic.Int64
+
+	mu   sync.Mutex
+	seen map[string]bool
+}
+
+func newFakeBackend() *fakeBackend {
+	return &fakeBackend{
+		release: make(chan struct{}),
+		started: make(chan struct{}, 1024),
+		seen:    map[string]bool{},
+	}
+}
+
+func (f *fakeBackend) PredictContext(ctx context.Context, req dlrmperf.PredictRequest) dlrmperf.PredictResult {
+	if req.Workload == "reject" {
+		f.rejected.Add(1)
+		return dlrmperf.PredictResult{Request: req, Err: errors.New("fake: rejected")}
+	}
+	f.inFlight.Add(1)
+	defer f.inFlight.Add(-1)
+	defer f.served.Add(1)
+	if req.Workload == "block" {
+		f.started <- struct{}{}
+		select {
+		case <-f.release:
+		case <-ctx.Done():
+			f.misses.Add(1)
+			f.canceled.Add(1)
+			return dlrmperf.PredictResult{Request: req, Err: ctx.Err()}
+		}
+	}
+	key := req.Workload + "/" + req.Device
+	f.mu.Lock()
+	hit := f.seen[key]
+	f.seen[key] = true
+	f.mu.Unlock()
+	if hit {
+		f.hits.Add(1)
+	} else {
+		f.misses.Add(1)
+	}
+	return dlrmperf.PredictResult{
+		Request:           req,
+		Prediction:        dlrmperf.Prediction{E2EUs: 42, ActiveUs: 40, CPUUs: 2},
+		GPUs:              1,
+		ScalingEfficiency: 1,
+		CacheHit:          hit,
+	}
+}
+
+func (f *fakeBackend) CacheStats() (uint64, uint64)    { return f.hits.Load(), f.misses.Load() }
+func (f *fakeBackend) RejectedRequests() uint64        { return f.rejected.Load() }
+func (f *fakeBackend) AssetStats() dlrmperf.AssetStats { return dlrmperf.AssetStats{} }
+func (f *fakeBackend) StreamStats() dlrmperf.StreamStats {
+	return dlrmperf.StreamStats{
+		InFlight: f.inFlight.Load(),
+		Served:   f.served.Load(),
+		Canceled: f.canceled.Load(),
+	}
+}
+func (f *fakeBackend) Devices() []string          { return []string{"FakeGPU"} }
+func (f *fakeBackend) CalibrationRuns(string) int { return 0 }
+
+// assertInvariant checks the /stats accounting identity: every admitted
+// request is a hit, a miss, or a rejection.
+func assertInvariant(t *testing.T, st Stats) {
+	t.Helper()
+	if got := st.Cache.Hits + st.Cache.Misses + st.Rejected.Total(); got != st.Requests {
+		t.Errorf("stats invariant broken: hits %d + misses %d + rejected %d = %d, requests %d",
+			st.Cache.Hits, st.Cache.Misses, st.Rejected.Total(), got, st.Requests)
+	}
+}
+
+// TestAdmissionBackpressure drives the bounded queue to capacity with a
+// deliberately blocked worker and verifies the 429 path: non-blocking
+// admissions fail fast with ErrQueueFull, the rejection is counted, and
+// every admitted request still completes once the backend unblocks.
+func TestAdmissionBackpressure(t *testing.T) {
+	fb := newFakeBackend()
+	s := New(Config{Backend: fb, QueueDepth: 2, Workers: 1})
+	defer s.Drain()
+
+	blockReq := Request{Workload: "block", Device: "FakeGPU"}
+	type submitResult struct {
+		res Result
+		err error
+	}
+	inFlight := make([]chan submitResult, 0, 3)
+	// First admission: the single worker picks it up and parks on the
+	// backend; wait for it to start so queue occupancy is deterministic.
+	ch := make(chan submitResult, 1)
+	go func() { r, err := s.TrySubmit(context.Background(), blockReq); ch <- submitResult{r, err} }()
+	inFlight = append(inFlight, ch)
+	<-fb.started
+
+	// Two more fill the queue (worker is parked, nothing drains).
+	for i := 0; i < 2; i++ {
+		ch := make(chan submitResult, 1)
+		go func() { r, err := s.TrySubmit(context.Background(), blockReq); ch <- submitResult{r, err} }()
+		inFlight = append(inFlight, ch)
+	}
+	waitFor(t, func() bool { return s.Stats().Queue.Depth == 2 })
+
+	// The queue is full: the next non-blocking admissions shed load.
+	const shed = 4
+	for i := 0; i < shed; i++ {
+		if _, err := s.TrySubmit(context.Background(), blockReq); !errors.Is(err, ErrQueueFull) {
+			t.Fatalf("admission %d over capacity: err = %v, want ErrQueueFull", i, err)
+		}
+	}
+	st := s.Stats()
+	if st.Rejected.QueueFull != shed {
+		t.Fatalf("queue-full rejections = %d, want %d", st.Rejected.QueueFull, shed)
+	}
+	if st.Queue.PeakDepth != 2 {
+		t.Fatalf("peak queue depth = %d, want 2", st.Queue.PeakDepth)
+	}
+
+	close(fb.release)
+	for i, ch := range inFlight {
+		got := <-ch
+		if got.err != nil || got.res.Error != "" {
+			t.Fatalf("admitted request %d failed after release: %v / %q", i, got.err, got.res.Error)
+		}
+	}
+	assertInvariant(t, s.Stats())
+}
+
+// TestDrainGraceful: queued and executing requests finish during a
+// drain, while new admissions are rejected with ErrDraining and counted
+// distinctly from queue-full rejections.
+func TestDrainGraceful(t *testing.T) {
+	fb := newFakeBackend()
+	s := New(Config{Backend: fb, QueueDepth: 4, Workers: 1})
+
+	blockReq := Request{Workload: "block", Device: "FakeGPU"}
+	results := make(chan Result, 3)
+	for i := 0; i < 3; i++ {
+		go func() {
+			r, err := s.Submit(context.Background(), blockReq)
+			if err != nil {
+				r = Result{Error: err.Error()}
+			}
+			results <- r
+		}()
+	}
+	<-fb.started
+	waitFor(t, func() bool { return s.Stats().Queue.Depth == 2 })
+
+	drained := make(chan struct{})
+	go func() { s.Drain(); close(drained) }()
+	waitFor(t, func() bool { return s.Draining() })
+
+	if _, err := s.Submit(context.Background(), Request{Workload: "x", Device: "FakeGPU"}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit during drain: err = %v, want ErrDraining", err)
+	}
+	if _, err := s.TrySubmit(context.Background(), Request{Workload: "x", Device: "FakeGPU"}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("try-submit during drain: err = %v, want ErrDraining", err)
+	}
+	select {
+	case <-drained:
+		t.Fatal("drain completed while requests were still in flight")
+	default:
+	}
+
+	close(fb.release)
+	for i := 0; i < 3; i++ {
+		if r := <-results; r.Error != "" {
+			t.Fatalf("in-flight request %d failed during drain: %s", i, r.Error)
+		}
+	}
+	select {
+	case <-drained:
+	case <-time.After(5 * time.Second):
+		t.Fatal("drain never completed")
+	}
+	st := s.Stats()
+	if st.Rejected.Draining != 2 {
+		t.Errorf("draining rejections = %d, want 2", st.Rejected.Draining)
+	}
+	assertInvariant(t, st)
+}
+
+// TestConcurrentClientsRace floods the server with N goroutine clients
+// mixing compute, duplicate, rejected, and canceled requests — run
+// under -race this is the streaming-safety test: counters stay
+// consistent and every client gets exactly one answer.
+func TestConcurrentClientsRace(t *testing.T) {
+	fb := newFakeBackend()
+	close(fb.release) // nothing blocks; "block" requests pass straight through
+	s := New(Config{Backend: fb, QueueDepth: 32, Workers: 8})
+	defer s.Drain()
+
+	const clients = 64
+	var wg sync.WaitGroup
+	var answered atomic.Uint64
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := Request{Workload: "dup", Device: "FakeGPU"}
+			if i%8 == 0 {
+				req.Workload = "reject"
+			}
+			res, err := s.Submit(context.Background(), req)
+			if err == nil {
+				answered.Add(1)
+				if req.Workload == "reject" && res.Error == "" {
+					t.Error("rejected request served")
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if answered.Load() != clients {
+		t.Fatalf("answered = %d, want %d", answered.Load(), clients)
+	}
+	st := s.Stats()
+	if st.Requests != clients {
+		t.Fatalf("requests = %d, want %d", st.Requests, clients)
+	}
+	if st.Cache.Misses != 1 {
+		t.Errorf("misses = %d, want 1 (single computation of the duplicate scenario)", st.Cache.Misses)
+	}
+	assertInvariant(t, st)
+}
+
+// tinyConfig is the shared low-fidelity calibration preset, so the
+// integration test calibrates in fractions of a second.
+func tinyConfig() dlrmperf.EngineConfig {
+	return dlrmperf.FastCalibConfig(23, 4)
+}
+
+// TestStreamIntegrationRealEngine is the end-to-end streaming contract
+// over a real (tiny) engine: a request canceled mid-calibration
+// returns the context error without poisoning the singleflight entry,
+// duplicate in-flight scenarios collapse to one computation, and the
+// stats invariant holds across all of it.
+func TestStreamIntegrationRealEngine(t *testing.T) {
+	eng, err := dlrmperf.NewEngineWith(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Backend: eng, QueueDepth: 32, Workers: 4})
+	defer s.Drain()
+
+	req := Request{Workload: dlrmperf.DLRMDefault, Batch: 512, Device: dlrmperf.V100}
+
+	// 1ms deadline: cold calibration takes far longer, so this cancels
+	// mid-calibration. The detached computation keeps running.
+	short := req
+	short.TimeoutMs = 1
+	res, err := s.Submit(context.Background(), short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Error, context.DeadlineExceeded.Error()) {
+		t.Fatalf("canceled request error = %q, want deadline exceeded", res.Error)
+	}
+
+	// Duplicate in-flight burst of the same scenario: every client is
+	// served, exactly one computation happened across the canceled
+	// request and the burst, and the device calibrated once.
+	const clients = 6
+	results := make([]Result, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := s.Submit(context.Background(), req)
+			if err != nil {
+				r = Result{Error: err.Error()}
+			}
+			results[i] = r
+		}(i)
+	}
+	wg.Wait()
+	computed := 0
+	for i, r := range results {
+		if r.Error != "" {
+			t.Fatalf("client %d failed: %s", i, r.Error)
+		}
+		if r.E2EUs != results[0].E2EUs {
+			t.Fatalf("client %d prediction differs: %v vs %v", i, r.E2EUs, results[0].E2EUs)
+		}
+		if !r.CacheHit {
+			computed++
+		}
+	}
+	if computed > 1 {
+		t.Fatalf("%d clients computed, want at most 1 (singleflight collapse)", computed)
+	}
+	if got := eng.CalibrationRuns(dlrmperf.V100); got != 1 {
+		t.Fatalf("calibrations executed = %d, want 1 (canceled request must not poison the flight)", got)
+	}
+	st := s.Stats()
+	if st.Canceled != 1 {
+		t.Errorf("canceled = %d, want 1", st.Canceled)
+	}
+	assertInvariant(t, st)
+}
+
+// TestHTTPSurface exercises every endpoint over httptest: predict with
+// cache-hit on the duplicate, batch report shape, scenarios list,
+// health, stats, 400 on garbage, and the 429 + Retry-After
+// backpressure path.
+func TestHTTPSurface(t *testing.T) {
+	fb := newFakeBackend()
+	s := New(Config{Backend: fb, QueueDepth: 1, Workers: 1, RetryAfter: 2 * time.Second})
+	defer s.Drain()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(path, body string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, data
+	}
+	get := func(path string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, data
+	}
+
+	// Health and scenarios.
+	if resp, _ := get("/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz = %d, want 200", resp.StatusCode)
+	}
+	if _, body := get("/v1/scenarios"); !strings.Contains(string(body), "dlrm-default") {
+		t.Fatalf("/v1/scenarios = %s", body)
+	}
+
+	// Single predict, then its duplicate: second must be a cache hit.
+	close(fb.release)
+	if resp, _ := post("/v1/predict", `{"workload":"w1","device":"FakeGPU"}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict = %d, want 200", resp.StatusCode)
+	}
+	_, body := post("/v1/predict", `{"workload":"w1","device":"FakeGPU"}`)
+	var row Result
+	if err := json.Unmarshal(body, &row); err != nil {
+		t.Fatal(err)
+	}
+	if !row.CacheHit {
+		t.Fatalf("duplicate request row = %+v, want cache hit", row)
+	}
+
+	// Batch: mixed rows, report shape, accounting blocks present.
+	_, body = post("/v1/predict/batch", `[{"workload":"w2","device":"FakeGPU"},{"workload":"reject","device":"FakeGPU"}]`)
+	var rep Report
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 2 || rep.Failed != 1 {
+		t.Fatalf("batch report = %d requests / %d failed, want 2/1", rep.Requests, rep.Failed)
+	}
+
+	// Malformed JSON.
+	if resp, _ := post("/v1/predict", `{not json`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage predict = %d, want 400", resp.StatusCode)
+	}
+
+	// Stats parse + invariant.
+	_, body = get("/stats")
+	var st Stats
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	assertInvariant(t, st)
+}
+
+// TestHTTP429RetryAfter blocks the single worker and fills the
+// 1-deep queue, then requires the next POST /v1/predict to get 429
+// with a Retry-After hint.
+func TestHTTP429RetryAfter(t *testing.T) {
+	fb := newFakeBackend()
+	s := New(Config{Backend: fb, QueueDepth: 1, Workers: 1, RetryAfter: 3 * time.Second})
+	defer s.Drain()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Park the worker, fill the queue.
+	go http.Post(ts.URL+"/v1/predict", "application/json", strings.NewReader(`{"workload":"block","device":"FakeGPU"}`))
+	<-fb.started
+	done := make(chan struct{})
+	go func() {
+		http.Post(ts.URL+"/v1/predict", "application/json", strings.NewReader(`{"workload":"block","device":"FakeGPU"}`))
+		close(done)
+	}()
+	waitFor(t, func() bool { return s.Stats().Queue.Depth == 1 })
+
+	resp, err := http.Post(ts.URL+"/v1/predict", "application/json", strings.NewReader(`{"workload":"w","device":"FakeGPU"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity predict = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "3" {
+		t.Fatalf("Retry-After = %q, want \"3\"", ra)
+	}
+	if st := s.Stats(); st.Rejected.QueueFull != 1 {
+		t.Fatalf("queue-full rejections = %d, want 1", st.Rejected.QueueFull)
+	}
+	close(fb.release)
+	<-done
+	assertInvariant(t, s.Stats())
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition never held")
+}

@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"dlrmperf"
+)
+
+// Request is the wire format of one prediction request — the same
+// schema the dlrmperf-serve batch fixture uses, for the file-driven
+// one-shot mode, POST /v1/predict (one object), and
+// POST /v1/predict/batch (an array).
+type Request struct {
+	Workload string `json:"workload,omitempty"`
+	Scenario string `json:"scenario,omitempty"`
+	Batch    int64  `json:"batch,omitempty"`
+	Device   string `json:"device"`
+	GPUs     int    `json:"gpus,omitempty"`
+	Comm     string `json:"comm,omitempty"`
+	Shared   bool   `json:"shared,omitempty"`
+	// TimeoutMs optionally tightens this request's deadline below the
+	// server's default; the effective deadline is the smaller of the
+	// two. Expired requests fail with the context error; the
+	// computation they started keeps running and lands in the result
+	// cache.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+// ToPredict maps the wire request onto the facade request.
+func (r Request) ToPredict() dlrmperf.PredictRequest {
+	return dlrmperf.PredictRequest{
+		Workload: r.Workload, Scenario: r.Scenario, Batch: r.Batch,
+		Device: r.Device, GPUs: r.GPUs, Comm: r.Comm, SharedOverheads: r.Shared,
+	}
+}
+
+// Result is one row of a report (and the POST /v1/predict response).
+type Result struct {
+	Request
+	E2EUs             float64 `json:"e2e_us,omitempty"`
+	ActiveUs          float64 `json:"active_us,omitempty"`
+	CPUUs             float64 `json:"cpu_us,omitempty"`
+	GPUsUsed          int     `json:"gpus_used,omitempty"`
+	ScalingEfficiency float64 `json:"scaling_efficiency,omitempty"`
+	AllReduceUs       float64 `json:"allreduce_us,omitempty"`
+	AllToAllUs        float64 `json:"alltoall_us,omitempty"`
+	ShardImbalance    float64 `json:"shard_imbalance,omitempty"`
+	CacheHit          bool    `json:"cache_hit,omitempty"`
+	Error             string  `json:"error,omitempty"`
+}
+
+// resultFrom flattens a facade result into the wire row.
+func resultFrom(req Request, res dlrmperf.PredictResult) Result {
+	row := Result{Request: req}
+	if res.Err != nil {
+		row.Error = res.Err.Error()
+		return row
+	}
+	row.E2EUs = res.Prediction.E2EUs
+	row.ActiveUs = res.Prediction.ActiveUs
+	row.CPUUs = res.Prediction.CPUUs
+	row.GPUsUsed = res.GPUs
+	row.ScalingEfficiency = res.ScalingEfficiency
+	row.AllReduceUs = res.AllReduceUs
+	row.AllToAllUs = res.AllToAllUs
+	row.ShardImbalance = res.ShardImbalance
+	row.CacheHit = res.CacheHit
+	return row
+}
+
+// ReportError is the structured failure entry emitted when a whole
+// batch fails, or when post-serve work (asset re-save) fails; it pairs
+// with a non-zero process exit in the one-shot driver.
+type ReportError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// CacheStats mirrors the engine's prediction result cache counters.
+// Hits + Misses equals the requests the engine served; Rejected counts
+// requests the engine (or the facade's request resolution) refused at
+// validation — it duplicates RejectedStats.Validation for report
+// compatibility.
+type CacheStats struct {
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Rejected uint64 `json:"rejected"`
+}
+
+// RejectedStats breaks out the requests that never reached a
+// computation, by the wall they hit: scenario/device validation
+// (inside the engine, before the compute path), a full admission queue
+// (backpressure 429s), admissions refused because the server was
+// draining, and blocking admissions abandoned by the caller (its
+// context expired while waiting for queue space — the client gave up,
+// which can happen even with space free, so it is not a queue-full).
+type RejectedStats struct {
+	Validation uint64 `json:"validation"`
+	QueueFull  uint64 `json:"queue_full"`
+	Draining   uint64 `json:"draining"`
+	Canceled   uint64 `json:"canceled_admissions"`
+}
+
+// Total sums every never-computed bucket.
+func (r RejectedStats) Total() uint64 {
+	return r.Validation + r.QueueFull + r.Draining + r.Canceled
+}
+
+// QueueStats is the admission queue's observable state.
+type QueueStats struct {
+	// Depth is the current queued (admitted, not yet executing) count;
+	// PeakDepth its high-water mark; Capacity the bound that triggers
+	// backpressure.
+	Depth     int   `json:"depth"`
+	PeakDepth int64 `json:"peak_depth"`
+	Capacity  int   `json:"capacity"`
+	// Workers is the concurrent execution width; InFlight/PeakInFlight
+	// count requests inside the engine's predict path right now and at
+	// the high-water mark.
+	Workers      int   `json:"workers"`
+	InFlight     int64 `json:"in_flight"`
+	PeakInFlight int64 `json:"peak_in_flight"`
+}
+
+// LatencyStats aggregates per-request wall-clock latency inside the
+// engine (queue wait excluded).
+type LatencyStats struct {
+	AvgUs   float64 `json:"avg_us"`
+	MaxUs   int64   `json:"max_us"`
+	TotalUs int64   `json:"total_us"`
+}
+
+// Stats is the GET /stats document: admission, stream, cache, and
+// asset-store counters. The accounting invariant — every admitted
+// request lands in exactly one bucket — is
+//
+//	Cache.Hits + Cache.Misses + Rejected.Total() == Requests
+//
+// with canceled requests a subset of the misses. It holds at
+// quiescence: a request in flight has already been counted in
+// Requests but not yet in a bucket, so a snapshot under load can read
+// hits+misses+rejected < requests by exactly the in-flight count.
+type Stats struct {
+	Requests uint64              `json:"requests"`
+	Served   uint64              `json:"served"`
+	Canceled uint64              `json:"canceled"`
+	Rejected RejectedStats       `json:"rejected"`
+	Queue    QueueStats          `json:"queue"`
+	Latency  LatencyStats        `json:"latency"`
+	Cache    CacheStats          `json:"cache"`
+	Assets   dlrmperf.AssetStats `json:"assets"`
+	Draining bool                `json:"draining"`
+}
+
+// Report is the full output document of a batch run (the one-shot
+// report and the POST /v1/predict/batch response). Results, Requests,
+// Failed, and ElapsedMs describe this batch; the Cache, Rejected,
+// Stream, Latency, and Assets blocks are engine-lifetime snapshots at
+// report time — the Stats invariant holds over them against the
+// server's lifetime request total, not this batch's Requests. In the
+// one-shot driver the engine serves exactly one batch, so the two
+// coincide (which is what its tests assert).
+type Report struct {
+	Results      []Result            `json:"results"`
+	Requests     int                 `json:"requests"`
+	Failed       int                 `json:"failed"`
+	ElapsedMs    float64             `json:"elapsed_ms"`
+	Calibrations map[string]int      `json:"calibrations"`
+	Cache        CacheStats          `json:"cache"`
+	Rejected     RejectedStats       `json:"rejected_requests"`
+	Stream       QueueStats          `json:"stream"`
+	Latency      LatencyStats        `json:"latency"`
+	Assets       dlrmperf.AssetStats `json:"assets"`
+	Error        *ReportError        `json:"error,omitempty"`
+}
+
+// Report assembles the batch report from finished rows plus the
+// server's live counters.
+func (s *Server) Report(results []Result, elapsed time.Duration) *Report {
+	rep := &Report{
+		Results:      results,
+		Requests:     len(results),
+		ElapsedMs:    float64(elapsed.Microseconds()) / 1000,
+		Calibrations: map[string]int{},
+	}
+	for _, row := range results {
+		if row.Error != "" {
+			rep.Failed++
+		}
+	}
+	b := s.cfg.Backend
+	for _, d := range b.Devices() {
+		if n := b.CalibrationRuns(d); n > 0 {
+			rep.Calibrations[d] = n
+		}
+	}
+	st := s.Stats()
+	rep.Cache, rep.Rejected = st.Cache, st.Rejected
+	rep.Stream, rep.Latency = st.Queue, st.Latency
+	rep.Assets = st.Assets
+	if rep.Failed == rep.Requests && rep.Requests > 0 {
+		rep.Error = &ReportError{
+			Code:    "all_requests_failed",
+			Message: fmt.Sprintf("all %d requests failed; first error: %s", rep.Requests, results[0].Error),
+		}
+	}
+	return rep
+}

@@ -1,9 +1,22 @@
-// Package xsync holds the one bounded fan-out idiom the concurrent
-// calibration and prediction layers share, so the pool logic is
-// written (and audited) once.
+// Package xsync holds the small concurrency idioms the calibration,
+// prediction, and serving layers share, so each is written (and
+// audited) once.
 package xsync
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// AtomicMax raises v to at least x.
+func AtomicMax(v *atomic.Int64, x int64) {
+	for {
+		cur := v.Load()
+		if x <= cur || v.CompareAndSwap(cur, x) {
+			return
+		}
+	}
+}
 
 // ForEachN invokes fn(i) for every i in [0, n), with at most workers
 // invocations in flight. workers <= 1 (or n <= 1) runs everything
