@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt bench bench-assets bench-check bench-baseline serve-demo serve-http check
+.PHONY: build test race vet fmt bench bench-assets bench-check bench-baseline serve-demo serve-http cluster-e2e cover check
 
 build:
 	$(GO) build ./...
@@ -54,4 +54,25 @@ serve-demo:
 serve-http:
 	$(GO) run ./cmd/dlrmperf-serve -listen :8080 -fast-calib
 
-check: build vet fmt test
+# cluster-e2e runs the cross-process sharded-serving suite under the
+# race detector: 1 coordinator + 2 self-registering workers, device-
+# affine routing, a mid-run worker kill with transparent failover, and
+# the aggregated /stats invariant (the same step CI runs).
+cluster-e2e:
+	$(GO) test -race -count=1 -run 'TestE2ECluster' -v ./cmd/dlrmperf-serve
+
+# cover is the serving/cluster coverage gate CI enforces: the
+# coordinator (internal/cluster) and the admission pipeline
+# (internal/serve) must each keep >= 80% statement coverage.
+COVER_FLOOR = 80
+cover:
+	@set -e; for pkg in internal/cluster internal/serve; do \
+		out="cover_$$(basename $$pkg).out"; \
+		$(GO) test -coverprofile=$$out ./$$pkg; \
+		pct=$$($(GO) tool cover -func=$$out | awk '/^total:/ {gsub("%","",$$3); print $$3}'); \
+		echo "$$pkg coverage: $$pct% (floor $(COVER_FLOOR)%)"; \
+		awk -v p="$$pct" -v f="$(COVER_FLOOR)" 'BEGIN { exit (p+0 < f) ? 1 : 0 }' \
+			|| { echo "$$pkg below the $(COVER_FLOOR)% coverage floor"; exit 1; }; \
+	done
+
+check: build vet fmt test cover

@@ -1,0 +1,331 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"dlrmperf/internal/cluster"
+)
+
+// serveProc is one dlrmperf-serve child process (worker or
+// coordinator) with its announced listen address and a race-guarded
+// stderr tail for failure forensics.
+type serveProc struct {
+	name string
+	cmd  *exec.Cmd
+
+	addr string
+
+	tailMu   sync.Mutex
+	tailBuf  bytes.Buffer
+	scanDone chan struct{}
+}
+
+func (p *serveProc) tail() string {
+	p.tailMu.Lock()
+	defer p.tailMu.Unlock()
+	return p.tailBuf.String()
+}
+
+func (p *serveProc) base() string { return "http://" + p.addr }
+
+// waitExit waits for the process to close stderr and exit, returning
+// its wait error.
+func (p *serveProc) waitExit(t *testing.T, timeout time.Duration) error {
+	t.Helper()
+	select {
+	case <-p.scanDone:
+	case <-time.After(timeout):
+		t.Fatalf("%s stderr never closed; tail:\n%s", p.name, p.tail())
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(timeout):
+		t.Fatalf("%s never exited; tail:\n%s", p.name, p.tail())
+		return nil
+	}
+}
+
+// startServeProc launches the built binary with args and waits for its
+// "listening on ADDR" announcement.
+func startServeProc(t *testing.T, name, bin string, args ...string) *serveProc {
+	t.Helper()
+	p := &serveProc{name: name, cmd: exec.Command(bin, args...), scanDone: make(chan struct{})}
+	stderr, err := p.cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.cmd.Process.Kill() })
+
+	addrCh := make(chan string, 1)
+	go func() {
+		defer close(p.scanDone)
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			p.tailMu.Lock()
+			p.tailBuf.WriteString(line + "\n")
+			p.tailMu.Unlock()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				addr := strings.TrimSpace(line[i+len("listening on "):])
+				if j := strings.IndexByte(addr, ' '); j >= 0 {
+					addr = addr[:j] // the coordinator line appends "(N static workers, ...)"
+				}
+				select {
+				case addrCh <- addr:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case p.addr = <-addrCh:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("%s never announced its address; tail:\n%s", name, p.tail())
+	}
+	return p
+}
+
+// TestE2ECluster is the cross-process sharded-serving end-to-end: it
+// builds the binary once, starts 1 coordinator + 2 self-registering
+// fast-calib workers, serves the mixed cluster fixture through the
+// coordinator asserting device-affine routing (each device calibrated
+// on exactly one worker) and a result-cache hit on the duplicate
+// scenario, verifies the aggregated /stats invariant, SIGKILLs the
+// worker owning V100 and requires the next V100 request to fail over
+// transparently to the survivor (counted under rejected.worker_failed),
+// and finally SIGTERMs the coordinator expecting a clean drain that
+// propagates to the surviving worker: both exit 0.
+func TestE2ECluster(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("drains via SIGTERM; not exercised on windows")
+	}
+	bin := filepath.Join(t.TempDir(), "dlrmperf-serve")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building binary: %v\n%s", err, out)
+	}
+
+	coord := startServeProc(t, "coordinator", bin,
+		"-coordinator", "-listen", "127.0.0.1:0", "-liveness", "3s")
+	w1 := startServeProc(t, "worker1", bin,
+		"-listen", "127.0.0.1:0", "-fast-calib",
+		"-register", coord.base(), "-heartbeat", "200ms")
+	w2 := startServeProc(t, "worker2", bin,
+		"-listen", "127.0.0.1:0", "-fast-calib",
+		"-register", coord.base(), "-heartbeat", "200ms")
+	workers := map[string]*serveProc{w1.base(): w1, w2.base(): w2}
+
+	client := &http.Client{Timeout: 5 * time.Minute}
+	getJSON := func(path string, v any) int {
+		t.Helper()
+		resp, err := client.Get(coord.base() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v\ncoordinator tail:\n%s", path, err, coord.tail())
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != nil {
+			if err := json.Unmarshal(data, v); err != nil {
+				t.Fatalf("parsing %s response %q: %v", path, data, err)
+			}
+		}
+		return resp.StatusCode
+	}
+
+	// Both workers register within a few heartbeats.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var health struct {
+			Status  string `json:"status"`
+			Workers int    `json:"workers"`
+		}
+		if code := getJSON("/healthz", &health); code == http.StatusOK && health.Workers == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("workers never registered; coordinator tail:\n%s", coord.tail())
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// The coordinator re-exports the scenario registry.
+	var scenarios []string
+	if code := getJSON("/v1/scenarios", &scenarios); code != http.StatusOK || len(scenarios) == 0 {
+		t.Fatalf("/v1/scenarios = %d with %d names", code, len(scenarios))
+	}
+
+	// The mixed fixture through the cluster: V100 and P100 rows split
+	// across the two workers by rendezvous hashing, the duplicate
+	// DLRM_DDP/V100 row served from a result cache.
+	fixture, err := os.ReadFile(filepath.Join("testdata", "cluster_requests.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(coord.base()+"/v1/predict/batch", "application/json", bytes.NewReader(fixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	repData, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch = %d: %s", resp.StatusCode, repData)
+	}
+	var rep cluster.Report
+	if err := json.Unmarshal(repData, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 4 || rep.Failed != 0 {
+		t.Fatalf("fixture report = %d requests / %d failed, want 4/0: %s", rep.Requests, rep.Failed, repData)
+	}
+	hit := false
+	for _, row := range rep.Results {
+		if row.CacheHit {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Fatalf("no cache hit on the duplicate fixture scenario: %s", repData)
+	}
+
+	// Device-affine routing: each device calibrated on exactly one
+	// worker, exactly once.
+	owner := map[string]string{}
+	for workerID, devs := range rep.Calibrations {
+		for dev, runs := range devs {
+			if prev, dup := owner[dev]; dup {
+				t.Fatalf("device %s calibrated on both %s and %s", dev, prev, workerID)
+			}
+			owner[dev] = workerID
+			if runs != 1 {
+				t.Fatalf("device %s calibrated %d times on %s, want 1", dev, runs, workerID)
+			}
+		}
+	}
+	for _, dev := range []string{"V100", "P100"} {
+		if owner[dev] == "" {
+			t.Fatalf("device %s calibrated nowhere; ledger %v", dev, rep.Calibrations)
+		}
+	}
+
+	// Aggregated accounting invariant, cluster-wide, at quiescence.
+	var st cluster.Stats
+	if code := getJSON("/stats", &st); code != http.StatusOK {
+		t.Fatalf("/stats = %d, want 200", code)
+	}
+	if got := st.Accounted(); got != st.Requests {
+		t.Fatalf("cluster stats invariant broken: hits %d + misses %d + rejected %d = %d, requests %d\n%s",
+			st.Cache.Hits, st.Cache.Misses, st.Rejected.Total(), got, st.Requests, coord.tail())
+	}
+
+	// Fault injection: SIGKILL the worker that owns V100, then ask for
+	// a V100 scenario the cluster has not cached. The coordinator must
+	// burn one attempt on the dead socket (counted under
+	// rejected.worker_failed), fail over to the survivor, and answer
+	// transparently.
+	victim := workers[owner["V100"]]
+	if victim == nil {
+		t.Fatalf("V100 owner %q is not one of the started workers %v", owner["V100"], workers)
+	}
+	survivor := w1
+	if victim == w1 {
+		survivor = w2
+	}
+	if err := victim.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	victim.waitExit(t, 30*time.Second) // SIGKILL: exit error expected, just reap it
+
+	resp, err = client.Post(coord.base()+"/v1/predict", "application/json",
+		strings.NewReader(`{"workload":"DLRM_DDP","batch":2048,"device":"V100"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowData, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("failover predict = %d: %s\ncoordinator tail:\n%s", resp.StatusCode, rowData, coord.tail())
+	}
+	var row struct {
+		E2EUs float64 `json:"e2e_us"`
+		Error string  `json:"error"`
+	}
+	if err := json.Unmarshal(rowData, &row); err != nil {
+		t.Fatal(err)
+	}
+	if row.Error != "" || row.E2EUs <= 0 {
+		t.Fatalf("failover row = %s, want a served prediction", rowData)
+	}
+	if code := getJSON("/stats", &st); code != http.StatusOK {
+		t.Fatalf("/stats = %d, want 200", code)
+	}
+	if st.Rejected.WorkerFailed == 0 {
+		t.Fatalf("worker_failed = 0 after killing the V100 owner:\n%s", coord.tail())
+	}
+	if got := st.Accounted(); got != st.Requests {
+		t.Fatalf("cluster invariant broken after failover: accounted %d, requests %d", got, st.Requests)
+	}
+
+	// Clean shutdown: SIGTERM the coordinator; it drains its routes and
+	// propagates the drain to the surviving registered worker. Both
+	// exit 0.
+	if err := coord.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.waitExit(t, 2*time.Minute); err != nil {
+		t.Fatalf("coordinator drain exited non-zero: %v; tail:\n%s", err, coord.tail())
+	}
+	if err := survivor.waitExit(t, 2*time.Minute); err != nil {
+		t.Fatalf("survivor did not drain cleanly on propagation: %v; tail:\n%s", err, survivor.tail())
+	}
+	if !strings.Contains(survivor.tail(), "draining") {
+		t.Errorf("survivor never logged its drain; tail:\n%s", survivor.tail())
+	}
+	t.Logf("cluster drained cleanly; coordinator tail:\n%s", coord.tail())
+}
+
+// TestClusterFlagValidation: -coordinator without -listen must fail
+// fast instead of silently running a one-shot batch.
+func TestClusterFlagValidation(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "dlrmperf-serve")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building binary: %v\n%s", err, out)
+	}
+	out, err := exec.Command(bin, "-coordinator").CombinedOutput()
+	if err == nil {
+		t.Fatalf("-coordinator without -listen exited 0:\n%s", out)
+	}
+	if !strings.Contains(string(out), "-coordinator requires -listen") {
+		t.Fatalf("unexpected failure output: %s", out)
+	}
+}

@@ -1,11 +1,25 @@
 // Command dlrmperf-serve is the prediction service driver. It runs in
-// two modes over the same serving pipeline (internal/serve): a
-// long-lived async HTTP server, and a one-shot batch runner.
+// three modes over the same serving pipeline (internal/serve +
+// internal/cluster): a long-lived async HTTP server (optionally
+// self-registering as a cluster worker), a cluster coordinator that
+// shards traffic across such workers, and a one-shot batch runner.
 //
 //	dlrmperf-serve -listen :8080                   # HTTP service
 //	dlrmperf-serve -in requests.json -o report.json # one-shot batch
 //	dlrmperf-serve -in requests.json -assets v100.json,p100.json
 //	dlrmperf-serve -gen 24 | dlrmperf-serve -save-assets assets/
+//
+//	dlrmperf-serve -coordinator -listen :9000       # cluster coordinator
+//	dlrmperf-serve -listen :8081 -register http://host:9000  # worker
+//
+// A coordinator routes each request to a worker by rendezvous hashing
+// on its device (one worker calibrates each device; its pinned assets
+// stay hot), retries a dead worker once on the next-ranked candidate,
+// re-exports the whole worker HTTP surface, and aggregates /stats
+// cluster-wide. Workers join via -register (heartbeat self-
+// registration) or the coordinator's -static-workers list. SIGTERM on
+// the coordinator drains in-flight routes, then propagates the drain
+// to the workers that registered with it.
 //
 // Both modes serve through one concurrent engine — each device
 // calibrates at most once, lazily, and repeated scenarios are served
@@ -50,6 +64,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -58,6 +73,7 @@ import (
 	"time"
 
 	"dlrmperf"
+	"dlrmperf/internal/cluster"
 	"dlrmperf/internal/serve"
 )
 
@@ -82,6 +98,12 @@ func main() {
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on 429/503 responses")
 	drainGrace := flag.Duration("drain-grace", 30*time.Second, "HTTP shutdown grace period after SIGTERM")
 	fastCalib := flag.Bool("fast-calib", false, "low-fidelity calibration (eighth-size sweeps, tiny networks) for smoke tests and CI")
+	coordinator := flag.Bool("coordinator", false, "run as a cluster coordinator on -listen, sharding requests across workers instead of serving an engine")
+	staticWorkers := flag.String("static-workers", "", "comma-separated worker base URLs the coordinator always knows about (no heartbeat required)")
+	register := flag.String("register", "", "coordinator base URL this worker self-registers (and heartbeats) with; also enables the worker's POST /v1/drain")
+	advertise := flag.String("advertise", "", "base URL this worker advertises when registering (default http://<listen address>)")
+	heartbeat := flag.Duration("heartbeat", 2*time.Second, "worker re-registration interval under -register")
+	liveness := flag.Duration("liveness", cluster.DefaultLiveness, "coordinator liveness window: a registered worker missing heartbeats this long stops being routed to")
 	flag.Parse()
 
 	if *listScenarios {
@@ -92,6 +114,24 @@ func main() {
 	}
 	if *gen > 0 {
 		generate(*gen, *out)
+		return
+	}
+
+	if *coordinator {
+		if *listen == "" {
+			fail(fmt.Errorf("-coordinator requires -listen"))
+		}
+		err := runCoordinator(coordinatorConfig{
+			Addr:          *listen,
+			StaticWorkers: splitPaths(*staticWorkers),
+			Liveness:      *liveness,
+			RetryAfter:    *retryAfter,
+			DrainGrace:    *drainGrace,
+			Seed:          *seed,
+		})
+		if err != nil {
+			fail(err)
+		}
 		return
 	}
 
@@ -106,6 +146,9 @@ func main() {
 			RetryAfter:     *retryAfter,
 		},
 		DrainGrace: *drainGrace,
+		Register:   *register,
+		Advertise:  *advertise,
+		Heartbeat:  *heartbeat,
 	}
 
 	if *listen != "" {
@@ -153,6 +196,15 @@ type serveConfig struct {
 	Stream serve.Config
 	// DrainGrace bounds the HTTP shutdown wait after a signal.
 	DrainGrace time.Duration
+	// Register names a cluster coordinator this worker self-registers
+	// with ("" disables); it also enables the worker's POST /v1/drain
+	// endpoint so the coordinator can propagate shutdown.
+	Register string
+	// Advertise is the base URL sent on registration (default derived
+	// from the bound listener).
+	Advertise string
+	// Heartbeat is the re-registration interval.
+	Heartbeat time.Duration
 }
 
 // engineConfig assembles the engine options of a run. fast selects the
@@ -247,10 +299,13 @@ func saveAssetsFor(eng *dlrmperf.Engine, dir string, devices []string) error {
 	return nil
 }
 
-// listenAndServe runs the HTTP service until a SIGTERM/SIGINT, then
-// drains gracefully: the listener stops, in-flight requests finish,
-// new admissions are rejected, and assets are re-saved if requested.
-// A failed asset re-save propagates to the exit code.
+// listenAndServe runs the HTTP service until a SIGTERM/SIGINT (or,
+// when registered with a coordinator, a propagated POST /v1/drain),
+// then drains gracefully: the listener stops, in-flight requests
+// finish, new admissions are rejected, and assets are re-saved if
+// requested. A failed asset re-save propagates to the exit code. With
+// cfg.Register set the worker heartbeats its advertised URL to the
+// coordinator so it joins (and stays in) the cluster's routing set.
 func listenAndServe(cfg serveConfig, addr string) error {
 	eng, err := newEngine(cfg)
 	if err != nil {
@@ -263,18 +318,52 @@ func listenAndServe(cfg serveConfig, addr string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "dlrmperf-serve: listening on %s\n", ln.Addr())
-	hs := &http.Server{Handler: srv.Handler()}
-	serveErr := make(chan error, 1)
-	go func() { serveErr <- hs.Serve(ln) }()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	handler := http.Handler(srv.Handler())
+	stopHeartbeat := func() {}
+	if cfg.Register != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		// The coordinator-propagated drain: acknowledge, then feed the
+		// same signal path SIGTERM takes so there is exactly one
+		// shutdown sequence.
+		mux.HandleFunc("POST /v1/drain", func(w http.ResponseWriter, _ *http.Request) {
+			serve.WriteJSON(w, http.StatusOK, map[string]string{"status": "draining"})
+			select {
+			case sig <- syscall.SIGTERM:
+			default: // a shutdown is already in flight
+			}
+		})
+		handler = mux
+
+		advertise := cfg.Advertise
+		if advertise == "" {
+			advertise = "http://" + advertiseHostPort(ln, cfg.Register)
+		}
+		stopHeartbeat = cluster.Heartbeat(nil, cfg.Register, advertise, advertise, cfg.Heartbeat)
+		defer stopHeartbeat()
+		fmt.Fprintf(os.Stderr, "dlrmperf-serve: registering with %s as %s\n", cfg.Register, advertise)
+	}
+
+	hs := &http.Server{Handler: handler}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
 	select {
 	case err := <-serveErr:
 		return err
 	case s := <-sig:
 		fmt.Fprintf(os.Stderr, "dlrmperf-serve: %v: draining\n", s)
 	}
+
+	// Stop heartbeating BEFORE draining: each beat re-registers and
+	// lifts any failure quarantine at the coordinator, so a worker that
+	// kept beating through its (up to -drain-grace long) drain would
+	// keep re-attracting traffic it is about to 503.
+	stopHeartbeat()
 
 	// Drain order: the admission queue first (new submits reject, every
 	// admitted request finishes and is delivered), then the HTTP server
@@ -295,6 +384,103 @@ func listenAndServe(cfg serveConfig, addr string) error {
 		"dlrmperf-serve: drained; %d requests, cache %d/%d hit/miss, rejected %d validation / %d queue-full / %d draining, canceled %d\n",
 		st.Requests, st.Cache.Hits, st.Cache.Misses,
 		st.Rejected.Validation, st.Rejected.QueueFull, st.Rejected.Draining, st.Canceled)
+	return nil
+}
+
+// advertiseHostPort derives the default self-registration address from
+// the bound listener. A listener on a specific address advertises it
+// verbatim; a wildcard listener (`-listen :8081` binds `[::]` or
+// `0.0.0.0`, which other hosts cannot dial) advertises the local IP
+// the routing table picks for reaching the coordinator (a connectless
+// UDP "dial" — no packets are sent), falling back to loopback.
+func advertiseHostPort(ln net.Listener, register string) string {
+	addr, ok := ln.Addr().(*net.TCPAddr)
+	if !ok {
+		return ln.Addr().String()
+	}
+	if !addr.IP.IsUnspecified() {
+		return addr.String()
+	}
+	host := "127.0.0.1"
+	if u, err := url.Parse(register); err == nil && u.Host != "" {
+		target := u.Host
+		if u.Port() == "" {
+			target = net.JoinHostPort(target, "80")
+		}
+		if conn, err := net.Dial("udp", target); err == nil {
+			if local, ok := conn.LocalAddr().(*net.UDPAddr); ok {
+				host = local.IP.String()
+			}
+			conn.Close()
+		}
+	}
+	return net.JoinHostPort(host, fmt.Sprintf("%d", addr.Port))
+}
+
+// coordinatorConfig parameterizes a coordinator run.
+type coordinatorConfig struct {
+	Addr          string
+	StaticWorkers []string
+	Liveness      time.Duration
+	RetryAfter    time.Duration
+	DrainGrace    time.Duration
+	Seed          uint64
+}
+
+// runCoordinator serves the cluster coordinator until SIGTERM/SIGINT,
+// then drains: in-flight routes finish, and the drain is propagated to
+// the workers that registered with this coordinator. The engine
+// behind it is cache-only — it never calibrates; it just lends its
+// fingerprint result cache to the pass-through, so repeats of an
+// identical scenario are answered without a worker round trip.
+func runCoordinator(cfg coordinatorConfig) error {
+	reg := cluster.NewRegistry(cfg.Liveness)
+	for _, u := range cfg.StaticWorkers {
+		reg.AddStatic(u)
+	}
+	cacheEng, err := dlrmperf.NewEngineWith(dlrmperf.EngineConfig{Seed: cfg.Seed})
+	if err != nil {
+		return err
+	}
+	coord := cluster.New(cluster.Config{
+		Registry:   reg,
+		Cache:      cacheEng,
+		RetryAfter: cfg.RetryAfter,
+	})
+
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "dlrmperf-serve: coordinator listening on %s (%d static workers, liveness %s)\n",
+		ln.Addr(), len(cfg.StaticWorkers), reg.TTL())
+	hs := &http.Server{Handler: coord.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		return err
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "dlrmperf-serve: coordinator %v: draining\n", s)
+	}
+
+	// Drain order mirrors the worker: routes first (new admissions get
+	// 503 while in-flight ones finish on their workers), propagate the
+	// drain to owned workers, then close the HTTP server.
+	coord.Drain(true)
+	shutCtx, cancel := context.WithTimeout(context.Background(), cfg.DrainGrace)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "dlrmperf-serve: coordinator http shutdown: %v\n", err)
+	}
+	st := coord.Stats(context.Background())
+	fmt.Fprintf(os.Stderr,
+		"dlrmperf-serve: coordinator drained; %d received (%d local cache hits), cluster %d requests, cache %d/%d hit/miss, rejected %d (worker_failed %d)\n",
+		st.Coordinator.Received, st.Coordinator.LocalCacheHits, st.Requests,
+		st.Cache.Hits, st.Cache.Misses, st.Rejected.Total(), st.Rejected.WorkerFailed)
 	return nil
 }
 

@@ -1,6 +1,8 @@
 package dlrmperf
 
 import (
+	"context"
+
 	"dlrmperf/internal/engine"
 	"dlrmperf/internal/kernels"
 	"dlrmperf/internal/ops"
@@ -18,6 +20,25 @@ type StreamStats = engine.StreamStats
 // completed and canceled totals, and latency aggregates. The serving
 // layer (internal/serve) exposes them on GET /stats.
 func (e *Engine) StreamStats() StreamStats { return e.eng.StreamStats() }
+
+// RemoteResult serves req through the engine's scenario-fingerprint
+// result cache with an externally supplied computation — the cluster
+// coordinator's pass-through. A resident entry returns hit=true
+// without invoking fetch; otherwise fetch runs exactly once among
+// identical concurrent requests (the engine's singleflight) and its
+// value — opaque to the engine, e.g. a worker's wire result row — is
+// stored under the request's fingerprint. A request that cannot be
+// resolved to a cache identity (unknown scenario name, malformed
+// width) falls through: fetch runs uncached so the remote worker still
+// owns the validation verdict and its rejection accounting.
+func (e *Engine) RemoteResult(ctx context.Context, req PredictRequest, fetch func() (any, error)) (v any, hit bool, err error) {
+	ereq, err := toEngine(req)
+	if err != nil {
+		v, err = fetch()
+		return v, false, err
+	}
+	return e.eng.RemoteResult(ctx, ereq, fetch)
+}
 
 // fusedLookup builds the batched lookup op used by FuseEmbeddingBags.
 func fusedLookup(rows []int64, l, d int64, skew float64, backward bool) ops.EmbeddingLookup {

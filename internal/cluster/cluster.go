@@ -1,0 +1,686 @@
+// Package cluster is the multi-process sharding layer over the PR-4
+// serving stack: a coordinator that owns a worker registry (static
+// list + self-registration with heartbeat liveness) and fans
+// /v1/predict traffic out to per-device dlrmperf-serve worker
+// processes by rendezvous hashing on the request's device — so each
+// device calibrates on exactly one worker and its pinned calibration
+// assets stay hot there — retrying a failed worker once on the
+// next-ranked candidate before surfacing 502.
+//
+// The coordinator re-exports the worker HTTP surface unchanged
+// (POST /v1/predict, POST /v1/predict/batch, GET /v1/scenarios,
+// GET /healthz, GET /stats) plus POST /v1/workers/register for
+// self-registration, and its /stats merges the per-worker
+// cache/asset/stream counters into one attempt-accounted document
+// whose invariant — hits + misses + rejected == requests — holds
+// cluster-wide (see stats.go for the accounting model). A
+// pass-through result cache (the engine's fingerprint result cache
+// via dlrmperf.Engine.RemoteResult) answers repeats of identical
+// scenarios at the coordinator without a network round trip.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dlrmperf"
+	"dlrmperf/internal/serve"
+	"dlrmperf/internal/xsync"
+)
+
+// ResultCache is the coordinator's pass-through cache surface —
+// implemented by *dlrmperf.Engine (RemoteResult), narrowed to an
+// interface so tests can substitute or disable it.
+type ResultCache interface {
+	RemoteResult(ctx context.Context, req dlrmperf.PredictRequest, fetch func() (any, error)) (v any, hit bool, err error)
+}
+
+// Config parameterizes a Coordinator.
+type Config struct {
+	// Registry is the worker set (required).
+	Registry *Registry
+	// Cache is the pass-through result cache; nil forwards every
+	// request (the ablation, and the fault-injection tests' default so
+	// repeats actually route).
+	Cache ResultCache
+	// Client performs worker HTTP calls. The default dials with a 2s
+	// timeout (dead-socket failover must be fast) but never bounds the
+	// response wait — a cold worker legitimately spends minutes
+	// calibrating a device.
+	Client *http.Client
+	// RetryAfter is the backpressure hint on coordinator 503s. Default 1s.
+	RetryAfter time.Duration
+	// MaxBodyBytes bounds request bodies (default 16 MiB), MaxBatch the
+	// rows of one batch POST (default 4096) — the same admission
+	// hygiene as the worker surface.
+	MaxBodyBytes int64
+	MaxBatch     int
+	// Fanout bounds concurrently routed batch rows (default 16).
+	Fanout int
+	// StatsTimeout bounds each worker's /stats fetch during
+	// aggregation (default 5s).
+	StatsTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Client == nil {
+		c.Client = &http.Client{Transport: &http.Transport{
+			DialContext: (&net.Dialer{Timeout: 2 * time.Second}).DialContext,
+		}}
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 16 << 20
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 4096
+	}
+	if c.Fanout <= 0 {
+		c.Fanout = 16
+	}
+	if c.StatsTimeout <= 0 {
+		c.StatsTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// ErrNoWorkers rejects a request that arrived with zero live workers.
+var ErrNoWorkers = errors.New("cluster: no live workers")
+
+// ErrDraining rejects admissions while the coordinator drains.
+var ErrDraining = errors.New("cluster: coordinator draining")
+
+// RouteError is a request that exhausted its routing attempts (the
+// ranked candidate and one retry) — the 502 surface.
+type RouteError struct {
+	Attempts int
+	Err      error
+}
+
+func (e *RouteError) Error() string {
+	return fmt.Sprintf("cluster: %d routing attempt(s) failed: %v", e.Attempts, e.Err)
+}
+
+func (e *RouteError) Unwrap() error { return e.Err }
+
+// BackpressureError passes a worker's 429 through to the client with
+// its Retry-After hint. Backpressure is not a failure: the worker is
+// healthy and asked the client to slow down, so the coordinator
+// honors it instead of re-routing the request off its affine worker.
+type BackpressureError struct{ RetryAfter string }
+
+func (e *BackpressureError) Error() string { return "cluster: worker backpressure (429)" }
+
+// rowError carries a worker-computed failure row (validation errors,
+// deadline expiries) through the cache layer without storing it: the
+// row still reaches the client, but a failed prediction is never
+// cached.
+type rowError struct{ row serve.Result }
+
+func (e rowError) Error() string { return e.row.Error }
+
+// Registration is the POST /v1/workers/register wire body.
+type Registration struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+}
+
+// Coordinator routes client requests across the registry's workers.
+type Coordinator struct {
+	cfg Config
+	reg *Registry
+
+	// admitMu guards draining against inflight.Add, exactly like the
+	// worker-side admission gate: Drain cannot start waiting while a
+	// request is between its draining check and its inflight add.
+	admitMu  sync.Mutex
+	draining bool
+	inflight sync.WaitGroup
+
+	received        atomic.Uint64
+	localHits       atomic.Uint64
+	workerFailed    atomic.Uint64
+	noWorkers       atomic.Uint64
+	drainingRejects atomic.Uint64
+
+	routedMu sync.Mutex
+	routed   map[string]uint64
+}
+
+// New returns a coordinator over the registry.
+func New(cfg Config) *Coordinator {
+	if cfg.Registry == nil {
+		panic("cluster: Config.Registry is required")
+	}
+	return &Coordinator{cfg: cfg.withDefaults(), reg: cfg.Registry, routed: map[string]uint64{}}
+}
+
+// Registry returns the coordinator's worker registry.
+func (c *Coordinator) Registry() *Registry { return c.reg }
+
+// Draining reports whether the coordinator has started draining.
+func (c *Coordinator) Draining() bool {
+	c.admitMu.Lock()
+	defer c.admitMu.Unlock()
+	return c.draining
+}
+
+// PredictOne serves one client request: local pass-through cache
+// first, then rendezvous routing with one retry. blocking selects the
+// worker admission mode — false forwards to the worker's non-blocking
+// POST /v1/predict (backpressure 429s pass through), true to its
+// blocking batch admission (the coordinator batch path, which must
+// not shed rows).
+func (c *Coordinator) PredictOne(ctx context.Context, req serve.Request, blocking bool) (serve.Result, error) {
+	c.received.Add(1)
+	c.admitMu.Lock()
+	if c.draining {
+		c.admitMu.Unlock()
+		c.drainingRejects.Add(1)
+		return serve.Result{}, ErrDraining
+	}
+	c.inflight.Add(1)
+	c.admitMu.Unlock()
+	defer c.inflight.Done()
+
+	fetch := func() (any, error) {
+		row, err := c.forward(ctx, req, blocking)
+		if err != nil {
+			return nil, err
+		}
+		if row.Error != "" {
+			return nil, rowError{row}
+		}
+		return row, nil
+	}
+	var v any
+	var hit bool
+	var err error
+	if c.cfg.Cache != nil {
+		v, hit, err = c.cfg.Cache.RemoteResult(ctx, req.ToPredict(), fetch)
+	} else {
+		v, err = fetch()
+	}
+	if err != nil {
+		var re rowError
+		if errors.As(err, &re) {
+			// A worker-computed failure row: already accounted worker-side,
+			// delivered to the client like any other row.
+			return re.row, nil
+		}
+		return serve.Result{}, err
+	}
+	row := v.(serve.Result)
+	// The cached value carries the envelope of whichever request first
+	// fetched it; re-stamp this caller's own.
+	row.Request = req
+	if hit {
+		c.localHits.Add(1)
+		row.CacheHit = true
+	}
+	return row, nil
+}
+
+// forward routes one request to the top-ranked live worker for its
+// device, retrying once on the next-ranked candidate after a failure.
+// MarkFailed removes the failed worker from the live set, so the
+// re-rank of the survivors IS the next-ranked candidate list —
+// rendezvous hashing guarantees keys on surviving workers don't move.
+func (c *Coordinator) forward(ctx context.Context, req serve.Request, blocking bool) (serve.Result, error) {
+	var lastErr error
+	const maxAttempts = 2
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		ranked := Rank(c.reg.Live(), req.Device)
+		if len(ranked) == 0 {
+			if lastErr != nil {
+				break // candidates exhausted mid-retry: a route failure, not "no workers"
+			}
+			c.noWorkers.Add(1)
+			return serve.Result{}, ErrNoWorkers
+		}
+		w := ranked[0]
+		c.routedMu.Lock()
+		c.routed[w.ID]++
+		c.routedMu.Unlock()
+		row, err := c.call(ctx, w, req, blocking)
+		if err == nil {
+			return row, nil
+		}
+		var bp *BackpressureError
+		if errors.As(err, &bp) {
+			return serve.Result{}, err // healthy worker said slow down: no retry, no failure mark
+		}
+		if ctx.Err() != nil {
+			// The CLIENT died (canceled or timed out mid-call), which
+			// says nothing about the worker: do not quarantine it — that
+			// would break device affinity and force a re-calibration on
+			// the next-ranked worker — and do not count a worker
+			// failure. If the request reached the worker, the worker's
+			// own canceled/miss accounting covers it.
+			return serve.Result{}, fmt.Errorf("worker %s: %w", w.ID, err)
+		}
+		c.workerFailed.Add(1)
+		c.reg.MarkFailed(w.ID)
+		lastErr = fmt.Errorf("worker %s: %w", w.ID, err)
+	}
+	return serve.Result{}, &RouteError{Attempts: maxAttempts, Err: lastErr}
+}
+
+// call performs one worker HTTP attempt.
+func (c *Coordinator) call(ctx context.Context, w Worker, req serve.Request, blocking bool) (serve.Result, error) {
+	if blocking {
+		// A 1-row batch rides the worker's BLOCKING admission path:
+		// batch rows must apply backpressure by waiting, never shed.
+		rep, err := c.post(ctx, w.URL+"/v1/predict/batch", []serve.Request{req})
+		if err != nil {
+			return serve.Result{}, err
+		}
+		var out serve.Report
+		if err := json.Unmarshal(rep, &out); err != nil {
+			return serve.Result{}, fmt.Errorf("parsing worker batch report: %w", err)
+		}
+		if len(out.Results) != 1 {
+			return serve.Result{}, fmt.Errorf("worker batch report has %d rows, want 1", len(out.Results))
+		}
+		row := out.Results[0]
+		// A draining worker reports its admission rejection as a 200 row
+		// with the drain sentinel in Error. That is a routing failure,
+		// not a prediction verdict: surface it as an error so the
+		// forward loop fails over to the survivor — batch rows must
+		// never terminally fail just because their affine worker is
+		// shutting down.
+		if row.Error == serve.ErrDraining.Error() {
+			return serve.Result{}, fmt.Errorf("worker draining: %s", row.Error)
+		}
+		return row, nil
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return serve.Result{}, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, w.URL+"/v1/predict", bytes.NewReader(body))
+	if err != nil {
+		return serve.Result{}, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.cfg.Client.Do(hreq)
+	if err != nil {
+		return serve.Result{}, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return serve.Result{}, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var row serve.Result
+		if err := json.Unmarshal(data, &row); err != nil {
+			return serve.Result{}, fmt.Errorf("parsing worker row: %w", err)
+		}
+		return row, nil
+	case http.StatusTooManyRequests:
+		return serve.Result{}, &BackpressureError{RetryAfter: resp.Header.Get("Retry-After")}
+	default:
+		return serve.Result{}, fmt.Errorf("worker status %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+	}
+}
+
+// post marshals v to one worker endpoint and returns the body of a 200.
+func (c *Coordinator) post(ctx context.Context, url string, v any) ([]byte, error) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.cfg.Client.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+	}
+	return data, nil
+}
+
+// RunBatch routes a request list across the cluster (bounded fan-out,
+// blocking worker admission) and returns one row per request in
+// request order; routing failures surface in the failing row.
+func (c *Coordinator) RunBatch(ctx context.Context, reqs []serve.Request) []serve.Result {
+	out := make([]serve.Result, len(reqs))
+	xsync.ForEachN(len(reqs), c.cfg.Fanout, func(i int) {
+		res, err := c.PredictOne(ctx, reqs[i], true)
+		if err != nil {
+			res = serve.Result{Request: reqs[i], Error: err.Error()}
+		}
+		out[i] = res
+	})
+	return out
+}
+
+// Report is the coordinator's batch response: per-row results plus
+// the aggregated cluster counters at report time.
+type Report struct {
+	Results   []serve.Result `json:"results"`
+	Requests  int            `json:"requests"`
+	Failed    int            `json:"failed"`
+	ElapsedMs float64        `json:"elapsed_ms"`
+	// Calibrations is the device-affinity ledger: worker ID -> device
+	// -> executed calibration runs, merged from worker /stats.
+	Calibrations map[string]map[string]int `json:"calibrations"`
+	Cache        serve.CacheStats          `json:"cache"`
+	Rejected     ClusterRejected           `json:"rejected_requests"`
+	Error        *serve.ReportError        `json:"error,omitempty"`
+}
+
+// Run serves a whole request list and assembles the cluster report.
+func (c *Coordinator) Run(ctx context.Context, reqs []serve.Request) *Report {
+	start := time.Now()
+	results := c.RunBatch(ctx, reqs)
+	rep := &Report{
+		Results:   results,
+		Requests:  len(results),
+		ElapsedMs: float64(time.Since(start).Microseconds()) / 1000,
+	}
+	for _, row := range results {
+		if row.Error != "" {
+			rep.Failed++
+		}
+	}
+	st := c.Stats(ctx)
+	rep.Calibrations = st.Calibrations
+	rep.Cache, rep.Rejected = st.Cache, st.Rejected
+	if rep.Failed == rep.Requests && rep.Requests > 0 {
+		rep.Error = &serve.ReportError{
+			Code:    "all_requests_failed",
+			Message: fmt.Sprintf("all %d requests failed; first error: %s", rep.Requests, results[0].Error),
+		}
+	}
+	return rep
+}
+
+// Stats assembles the aggregated cluster document: the coordinator's
+// own buckets plus every live worker's /stats snapshot (fetched
+// concurrently), merged under the attempt-accounting model. The
+// coordinator buckets are read before the worker fetches and each
+// worker snapshot is internally ordered (serve.Server.Stats), so
+// Accounted() <= Requests holds on every aggregated snapshot too.
+func (c *Coordinator) Stats(ctx context.Context) Stats {
+	agg := Stats{
+		Rejected: ClusterRejected{
+			WorkerFailed: c.workerFailed.Load(),
+			NoWorkers:    c.noWorkers.Load(),
+			Draining:     c.drainingRejects.Load(),
+		},
+		Coordinator: CoordinatorStats{
+			Received:       c.received.Load(),
+			LocalCacheHits: c.localHits.Load(),
+		},
+		Draining: c.Draining(),
+	}
+	// Every coordinator-accounted attempt joins both sides of the
+	// invariant: the bucket above and the request total here.
+	agg.Requests = agg.Coordinator.LocalCacheHits + agg.Rejected.WorkerFailed +
+		agg.Rejected.NoWorkers + agg.Rejected.Draining
+	agg.Cache.Hits = agg.Coordinator.LocalCacheHits
+
+	infos := c.reg.Snapshot()
+	statuses := make([]WorkerStatus, len(infos))
+	xsync.ForEachN(len(infos), 8, func(i int) {
+		statuses[i] = c.workerStatus(ctx, infos[i])
+	})
+	for _, ws := range statuses {
+		if ws.Stats != nil {
+			agg.mergeWorker(ws.ID, *ws.Stats)
+		}
+	}
+	agg.Workers = statuses
+	return agg
+}
+
+// workerStatus fetches one worker's /stats snapshot (live workers
+// only; a fetch failure is reported, not fatal).
+func (c *Coordinator) workerStatus(ctx context.Context, info WorkerInfo) WorkerStatus {
+	c.routedMu.Lock()
+	routed := c.routed[info.ID]
+	c.routedMu.Unlock()
+	ws := WorkerStatus{WorkerInfo: info, Routed: routed}
+	if !info.Live {
+		return ws
+	}
+	sctx, cancel := context.WithTimeout(ctx, c.cfg.StatsTimeout)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(sctx, http.MethodGet, info.URL+"/stats", nil)
+	if err != nil {
+		ws.StatsError = err.Error()
+		return ws
+	}
+	resp, err := c.cfg.Client.Do(hreq)
+	if err != nil {
+		ws.StatsError = err.Error()
+		return ws
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		ws.StatsError = err.Error()
+		return ws
+	}
+	if resp.StatusCode != http.StatusOK {
+		ws.StatsError = fmt.Sprintf("status %d", resp.StatusCode)
+		return ws
+	}
+	var st serve.Stats
+	if err := json.Unmarshal(data, &st); err != nil {
+		ws.StatsError = err.Error()
+		return ws
+	}
+	ws.Stats = &st
+	return ws
+}
+
+// Drain gracefully stops the coordinator: new admissions reject with
+// ErrDraining, every in-flight route finishes and is delivered, and —
+// with propagate set — the drain is then pushed to the registered
+// (non-static) live workers via POST /v1/drain, best-effort. Static
+// workers are deliberately spared: they were configured from outside
+// and may be shared with other coordinators.
+func (c *Coordinator) Drain(propagate bool) {
+	c.admitMu.Lock()
+	c.draining = true
+	c.admitMu.Unlock()
+	c.inflight.Wait()
+	if !propagate {
+		return
+	}
+	workers := c.reg.Live()
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		if w.Static {
+			continue
+		}
+		wg.Add(1)
+		go func(w Worker) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), c.cfg.StatsTimeout)
+			defer cancel()
+			hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, w.URL+"/v1/drain", nil)
+			if err != nil {
+				return
+			}
+			if resp, err := c.cfg.Client.Do(hreq); err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Handler returns the coordinator's HTTP surface: the worker surface
+// re-exported, plus worker self-registration.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/predict", c.handlePredict)
+	mux.HandleFunc("POST /v1/predict/batch", c.handleBatch)
+	mux.HandleFunc("POST /v1/workers/register", c.handleRegister)
+	mux.HandleFunc("GET /v1/scenarios", func(w http.ResponseWriter, _ *http.Request) {
+		serve.WriteJSON(w, http.StatusOK, dlrmperf.Scenarios())
+	})
+	mux.HandleFunc("GET /healthz", c.handleHealthz)
+	mux.HandleFunc("GET /stats", c.handleStats)
+	return mux
+}
+
+func (c *Coordinator) retryAfter() string { return serve.RetryAfterSeconds(c.cfg.RetryAfter) }
+
+func (c *Coordinator) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req serve.Request
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, c.cfg.MaxBodyBytes)).Decode(&req); err != nil {
+		serve.WriteJSON(w, http.StatusBadRequest, serve.HTTPError{Code: "bad_request", Message: err.Error()})
+		return
+	}
+	res, err := c.PredictOne(r.Context(), req, false)
+	var bp *BackpressureError
+	var re *RouteError
+	switch {
+	case err == nil:
+		serve.WriteJSON(w, http.StatusOK, res)
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", c.retryAfter())
+		serve.WriteJSON(w, http.StatusServiceUnavailable, serve.HTTPError{Code: "draining", Message: err.Error()})
+	case errors.Is(err, ErrNoWorkers):
+		w.Header().Set("Retry-After", c.retryAfter())
+		serve.WriteJSON(w, http.StatusServiceUnavailable, serve.HTTPError{Code: "no_workers", Message: err.Error()})
+	case errors.As(err, &bp):
+		ra := bp.RetryAfter
+		if ra == "" {
+			ra = c.retryAfter()
+		}
+		w.Header().Set("Retry-After", ra)
+		serve.WriteJSON(w, http.StatusTooManyRequests, serve.HTTPError{Code: "queue_full", Message: err.Error()})
+	case errors.As(err, &re):
+		serve.WriteJSON(w, http.StatusBadGateway, serve.HTTPError{Code: "worker_failed", Message: err.Error()})
+	default:
+		serve.WriteJSON(w, http.StatusInternalServerError, serve.HTTPError{Code: "internal", Message: err.Error()})
+	}
+}
+
+func (c *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var reqs []serve.Request
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, c.cfg.MaxBodyBytes)).Decode(&reqs); err != nil {
+		serve.WriteJSON(w, http.StatusBadRequest, serve.HTTPError{Code: "bad_request", Message: err.Error()})
+		return
+	}
+	if len(reqs) == 0 {
+		serve.WriteJSON(w, http.StatusBadRequest, serve.HTTPError{Code: "bad_request", Message: "empty request list"})
+		return
+	}
+	if len(reqs) > c.cfg.MaxBatch {
+		serve.WriteJSON(w, http.StatusBadRequest, serve.HTTPError{
+			Code:    "batch_too_large",
+			Message: fmt.Sprintf("batch of %d exceeds the %d-row limit; split it", len(reqs), c.cfg.MaxBatch),
+		})
+		return
+	}
+	serve.WriteJSON(w, http.StatusOK, c.Run(r.Context(), reqs))
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var reg Registration
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, c.cfg.MaxBodyBytes)).Decode(&reg); err != nil {
+		serve.WriteJSON(w, http.StatusBadRequest, serve.HTTPError{Code: "bad_request", Message: err.Error()})
+		return
+	}
+	if reg.URL == "" {
+		serve.WriteJSON(w, http.StatusBadRequest, serve.HTTPError{Code: "bad_request", Message: "url is required"})
+		return
+	}
+	if reg.ID == "" {
+		reg.ID = reg.URL
+	}
+	c.reg.Register(reg.ID, reg.URL)
+	serve.WriteJSON(w, http.StatusOK, map[string]any{
+		"ttl_ms":  c.reg.TTL().Milliseconds(),
+		"workers": len(c.reg.Live()),
+	})
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	live := len(c.reg.Live())
+	if c.Draining() {
+		serve.WriteJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining", "workers": live})
+		return
+	}
+	serve.WriteJSON(w, http.StatusOK, map[string]any{"status": "ok", "workers": live})
+}
+
+func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
+	serve.WriteJSON(w, http.StatusOK, c.Stats(r.Context()))
+}
+
+// Heartbeat self-registers a worker with a coordinator immediately and
+// then every interval, keeping it inside the registry's liveness
+// window, until the returned stop function is called (idempotent,
+// waits for the loop to exit). Registration failures are retried on
+// the next tick — a coordinator restart heals itself.
+func Heartbeat(client *http.Client, coordinatorURL, id, selfURL string, interval time.Duration) (stop func()) {
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	beat := func() {
+		body, err := json.Marshal(Registration{ID: id, URL: selfURL})
+		if err != nil {
+			return
+		}
+		resp, err := client.Post(coordinatorURL+"/v1/workers/register", "application/json", bytes.NewReader(body))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+	go func() {
+		defer close(exited)
+		beat()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				beat()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done) })
+		<-exited
+	}
+}

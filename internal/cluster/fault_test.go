@@ -1,0 +1,242 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// affineDevice returns a device name whose rendezvous rank-0 among the
+// live workers is want — fault tests use it to aim traffic at the
+// worker they are about to kill.
+func affineDevice(t *testing.T, live []Worker, want string) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		dev := fmt.Sprintf("gpu-%d", i)
+		if Rank(live, dev)[0].ID == want {
+			return dev
+		}
+	}
+	t.Fatal("no device ranks the target worker first (rendezvous broken?)")
+	return ""
+}
+
+// TestWorkerKilledMidStreamRetries is the headline fault injection:
+// the worker owning a device dies mid-response, the coordinator counts
+// the broken attempt under rejected.worker_failed, retries once on the
+// next-ranked candidate, and the client transparently gets a served
+// row from the survivor. The dead worker is quarantined, so follow-up
+// traffic goes straight to the survivor without another failure.
+func TestWorkerKilledMidStreamRetries(t *testing.T) {
+	coord, workers := newTestCluster(t, 2, nil)
+	live := coord.Registry().Live()
+	victim, survivor := workers[0], workers[1]
+	dev := affineDevice(t, live, victim.id)
+
+	// Prime: the device's first request lands (and "calibrates") on the
+	// victim.
+	if row, err := coord.PredictOne(context.Background(), req(dev, "w", 512), false); err != nil || row.Error != "" {
+		t.Fatalf("prime: %v / %q", err, row.Error)
+	}
+	if victim.receivedCount() != 1 || survivor.receivedCount() != 0 {
+		t.Fatalf("prime routed %d/%d, want 1/0", victim.receivedCount(), survivor.receivedCount())
+	}
+
+	// Kill mid-stream: every further response on the victim aborts the
+	// connection, exactly like a process dying with the request in
+	// flight.
+	victim.killed.Store(true)
+	row, err := coord.PredictOne(context.Background(), req(dev, "w", 1024), false)
+	if err != nil || row.Error != "" {
+		t.Fatalf("failover request: %v / %q, want transparent success via survivor", err, row.Error)
+	}
+	if survivor.receivedCount() != 1 {
+		t.Fatalf("survivor served %d, want 1 (the retried request)", survivor.receivedCount())
+	}
+	st := coord.Stats(context.Background())
+	if st.Rejected.WorkerFailed != 1 {
+		t.Fatalf("worker_failed = %d, want 1 (the broken first attempt)", st.Rejected.WorkerFailed)
+	}
+	assertAggInvariant(t, st)
+
+	// The victim is quarantined: it is out of the live set and the next
+	// request for its device routes straight to the survivor.
+	if lv := coord.Registry().Live(); len(lv) != 1 || lv[0].ID != survivor.id {
+		t.Fatalf("live after failure = %+v, want only the survivor", lv)
+	}
+	if row, err := coord.PredictOne(context.Background(), req(dev, "w", 2048), false); err != nil || row.Error != "" {
+		t.Fatalf("post-failover request: %v / %q", err, row.Error)
+	}
+	if st := coord.Stats(context.Background()); st.Rejected.WorkerFailed != 1 {
+		t.Fatalf("worker_failed grew to %d after quarantine, want still 1", st.Rejected.WorkerFailed)
+	}
+}
+
+// TestWorkerDeadSocketRetries is the harsher variant: the worker's
+// listener is gone entirely (connection refused), which must take the
+// same retry path.
+func TestWorkerDeadSocketRetries(t *testing.T) {
+	coord, workers := newTestCluster(t, 2, nil)
+	live := coord.Registry().Live()
+	victim, survivor := workers[0], workers[1]
+	dev := affineDevice(t, live, victim.id)
+
+	victim.srv.CloseClientConnections()
+	victim.srv.Close()
+
+	row, err := coord.PredictOne(context.Background(), req(dev, "w", 512), true)
+	if err != nil || row.Error != "" {
+		t.Fatalf("failover: %v / %q", err, row.Error)
+	}
+	if survivor.receivedCount() != 1 {
+		t.Fatalf("survivor served %d, want 1", survivor.receivedCount())
+	}
+	if st := coord.Stats(context.Background()); st.Rejected.WorkerFailed != 1 {
+		t.Fatalf("worker_failed = %d, want 1", st.Rejected.WorkerFailed)
+	}
+}
+
+// TestAllWorkersDead: with every candidate failing, the single retry
+// is spent and the request surfaces a RouteError (the 502), with both
+// broken attempts accounted.
+func TestAllWorkersDead(t *testing.T) {
+	coord, workers := newTestCluster(t, 2, nil)
+	for _, fw := range workers {
+		fw.killed.Store(true)
+	}
+	_, err := coord.PredictOne(context.Background(), req("gpu-0", "w", 512), false)
+	var re *RouteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want RouteError", err)
+	}
+	st := coord.Stats(context.Background())
+	if st.Rejected.WorkerFailed != 2 {
+		t.Fatalf("worker_failed = %d, want 2 (both attempts)", st.Rejected.WorkerFailed)
+	}
+	assertAggInvariant(t, st)
+}
+
+// TestDrainingWorkerFailsOver: a worker shutting down reports batch
+// rows as 200s carrying the drain sentinel in the row error; the
+// coordinator must treat that as a routing failure and fail the row
+// over to the survivor instead of delivering a terminal "draining"
+// row — batch rows never shed just because their affine worker is
+// going away.
+func TestDrainingWorkerFailsOver(t *testing.T) {
+	coord, workers := newTestCluster(t, 2, nil)
+	victim, survivor := workers[0], workers[1]
+	dev := affineDevice(t, coord.Registry().Live(), victim.id)
+
+	victim.draining.Store(true)
+	row, err := coord.PredictOne(context.Background(), req(dev, "w", 512), true)
+	if err != nil || row.Error != "" {
+		t.Fatalf("batch row via draining worker: %v / %q, want failover success", err, row.Error)
+	}
+	if survivor.receivedCount() != 1 {
+		t.Fatalf("survivor served %d, want 1", survivor.receivedCount())
+	}
+	st := coord.Stats(context.Background())
+	if st.Rejected.WorkerFailed != 1 {
+		t.Fatalf("worker_failed = %d, want 1 (the draining attempt)", st.Rejected.WorkerFailed)
+	}
+}
+
+// TestClientCancelDoesNotQuarantine: a client that times out while its
+// affine worker is legitimately computing must NOT mark the worker
+// failed (that would evict the device's hot calibration) nor count a
+// worker failure — the client died, not the worker.
+func TestClientCancelDoesNotQuarantine(t *testing.T) {
+	coord, workers := newTestCluster(t, 2, nil)
+	dev := affineDevice(t, coord.Registry().Live(), workers[0].id)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := coord.PredictOne(ctx, req(dev, "slow", 512), false)
+	if err == nil {
+		t.Fatal("expired client got a result")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want the client's deadline", err)
+	}
+	if live := coord.Registry().Live(); len(live) != 2 {
+		t.Fatalf("live after client cancel = %d workers, want 2 (no quarantine)", len(live))
+	}
+	if st := coord.Stats(context.Background()); st.Rejected.WorkerFailed != 0 {
+		t.Fatalf("worker_failed = %d, want 0 for a client-side cancel", st.Rejected.WorkerFailed)
+	}
+}
+
+// TestHeartbeatExpiryStopsRouting pins the liveness window with an
+// injected clock: a registered worker that stops heartbeating is out
+// of the routing set within one window — no real sleeping — and a
+// fresh heartbeat brings it straight back.
+func TestHeartbeatExpiryStopsRouting(t *testing.T) {
+	reg := NewRegistry(5 * time.Second)
+	now := time.Unix(1000, 0)
+	reg.now = func() time.Time { return now }
+
+	a, b := newFakeWorker(t), newFakeWorker(t)
+	reg.Register(a.id, a.srv.URL)
+	reg.AddStatic(b.srv.URL)
+	coord := New(Config{Registry: reg})
+	dev := affineDevice(t, reg.Live(), a.id)
+
+	if row, err := coord.PredictOne(context.Background(), req(dev, "w", 512), false); err != nil || row.Error != "" {
+		t.Fatalf("prime: %v / %q", err, row.Error)
+	}
+	if a.receivedCount() != 1 {
+		t.Fatalf("affine worker served %d, want 1", a.receivedCount())
+	}
+
+	// One liveness window later with no heartbeat, the registry stops
+	// routing to it: the same device now lands on the static survivor.
+	now = now.Add(5*time.Second + time.Millisecond)
+	if lv := reg.Live(); len(lv) != 1 || lv[0].ID != b.id {
+		t.Fatalf("live after expiry = %+v, want only the static worker", lv)
+	}
+	if row, err := coord.PredictOne(context.Background(), req(dev, "w", 1024), false); err != nil || row.Error != "" {
+		t.Fatalf("post-expiry: %v / %q", err, row.Error)
+	}
+	if a.receivedCount() != 1 || b.receivedCount() != 1 {
+		t.Fatalf("routed %d/%d after expiry, want 1/1", a.receivedCount(), b.receivedCount())
+	}
+
+	// A fresh heartbeat restores routing — and lifts any quarantine.
+	reg.Register(a.id, a.srv.URL)
+	if lv := reg.Live(); len(lv) != 2 {
+		t.Fatalf("live after re-register = %+v, want both", lv)
+	}
+
+	// The snapshot reports the dead period honestly too.
+	now = now.Add(6 * time.Second)
+	for _, info := range reg.Snapshot() {
+		if info.ID == a.id && info.Live {
+			t.Fatalf("snapshot shows expired worker live: %+v", info)
+		}
+		if info.ID == b.id && !info.Live {
+			t.Fatalf("snapshot shows static worker dead: %+v", info)
+		}
+	}
+}
+
+// TestStaticWorkerQuarantineHeals: a static worker that fails is
+// quarantined for one liveness window, then rejoins the routing set
+// (self-healing without heartbeats).
+func TestStaticWorkerQuarantineHeals(t *testing.T) {
+	reg := NewRegistry(5 * time.Second)
+	now := time.Unix(2000, 0)
+	reg.now = func() time.Time { return now }
+	reg.AddStatic("http://worker-a")
+	reg.AddStatic("http://worker-b")
+
+	reg.MarkFailed("http://worker-a")
+	if lv := reg.Live(); len(lv) != 1 || lv[0].ID != "http://worker-b" {
+		t.Fatalf("live during quarantine = %+v", lv)
+	}
+	now = now.Add(5*time.Second + time.Millisecond)
+	if lv := reg.Live(); len(lv) != 2 {
+		t.Fatalf("live after quarantine lapse = %+v, want both", lv)
+	}
+}

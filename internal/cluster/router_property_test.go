@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// syntheticWorkers builds n workers with URL-shaped IDs.
+func syntheticWorkers(n int) []Worker {
+	out := make([]Worker, n)
+	for i := range out {
+		out[i] = Worker{ID: fmt.Sprintf("http://10.0.0.%d:8080", i+1), URL: fmt.Sprintf("http://10.0.0.%d:8080", i+1)}
+	}
+	return out
+}
+
+// TestRouterDeterministicAndOrderFree (testing/quick): for random keys
+// and worker-set sizes, the ranking is identical across repeated calls
+// and across arbitrary permutations of the input slice — routing
+// depends only on (IDs, key), never on registration order.
+func TestRouterDeterministicAndOrderFree(t *testing.T) {
+	f := func(key string, sizeRaw uint8, permSeed int64) bool {
+		n := 1 + int(sizeRaw)%8
+		workers := syntheticWorkers(n)
+		base := Rank(workers, key)
+
+		shuffled := append([]Worker(nil), workers...)
+		rand.New(rand.NewSource(permSeed)).Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		return reflect.DeepEqual(base, Rank(workers, key)) &&
+			reflect.DeepEqual(base, Rank(shuffled, key))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRouterUniformWithin2x: 1k synthetic devices across 5 workers
+// must spread within 2x between the busiest and the idlest worker (and
+// leave no worker empty) — the load-balance bound the serving layer
+// relies on without virtual nodes.
+func TestRouterUniformWithin2x(t *testing.T) {
+	workers := syntheticWorkers(5)
+	counts := map[string]int{}
+	const devices = 1000
+	for d := 0; d < devices; d++ {
+		counts[Rank(workers, fmt.Sprintf("device-%04d", d))[0].ID]++
+	}
+	min, max := devices, 0
+	for _, w := range workers {
+		c := counts[w.ID]
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	t.Logf("per-worker device counts: %v (min %d, max %d)", counts, min, max)
+	if min == 0 {
+		t.Fatalf("a worker owns no devices: %v", counts)
+	}
+	if max > 2*min {
+		t.Fatalf("imbalance beyond 2x: min %d, max %d (%v)", min, max, counts)
+	}
+}
+
+// TestRouterMinimalDisruption: dropping one worker re-homes ONLY the
+// keys it owned; every key on a surviving worker keeps its owner, and
+// the orphaned keys land on their previous second-ranked candidate.
+// This is exactly why the coordinator's one-retry failover preserves
+// device affinity: the retry target is the key's post-failure home.
+func TestRouterMinimalDisruption(t *testing.T) {
+	workers := syntheticWorkers(4)
+	const keys = 500
+	type home struct{ first, second string }
+	before := map[string]home{}
+	for k := 0; k < keys; k++ {
+		key := fmt.Sprintf("device-%04d", k)
+		ranked := Rank(workers, key)
+		before[key] = home{ranked[0].ID, ranked[1].ID}
+	}
+	for drop := range workers {
+		var remaining []Worker
+		for i, w := range workers {
+			if i != drop {
+				remaining = append(remaining, w)
+			}
+		}
+		moved := 0
+		for key, h := range before {
+			after := Rank(remaining, key)[0].ID
+			if h.first == workers[drop].ID {
+				moved++
+				if after != h.second {
+					t.Fatalf("dropping %s: key %s moved to %s, want its second-ranked %s",
+						workers[drop].ID, key, after, h.second)
+				}
+			} else if after != h.first {
+				t.Fatalf("dropping %s moved key %s from surviving owner %s to %s",
+					workers[drop].ID, key, h.first, after)
+			}
+		}
+		if moved == 0 {
+			t.Fatalf("dropping %s moved no keys (it owned none of %d?)", workers[drop].ID, keys)
+		}
+	}
+}

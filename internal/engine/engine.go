@@ -589,6 +589,70 @@ func (e *Engine) PredictCtx(ctx context.Context, req Request) Result {
 	return res.fill(got.(cached), !executed)
 }
 
+// RemoteResult serves a request whose computation happens OUTSIDE this
+// engine — the cluster coordinator's pass-through: workers compute,
+// but repeats of an identical scenario are answered from this engine's
+// fingerprint result cache without another network round trip. The
+// request's Key() addresses the same results class as local
+// predictions (under a "remote/" prefix, so locally computed entries
+// and opaque remote payloads never collide), identical concurrent
+// requests collapse through the same singleflight, and the counters
+// follow Predict's conventions exactly: a hit is anything served from
+// memory or a successful in-flight join, a miss anything that ran (or
+// joined a failed) fetch, so CacheStats/StreamStats invariants hold
+// unchanged for a cache-only engine that never calibrates. A fetch
+// error is returned to every joiner and nothing is stored, so a
+// transient worker failure never poisons the cache. ctx follows
+// DoCtx's detached-execution contract: an expired caller abandons the
+// wait while the fetch completes into the cache.
+func (e *Engine) RemoteResult(ctx context.Context, req Request, fetch func() (any, error)) (v any, hit bool, err error) {
+	start := time.Now()
+	xsync.AtomicMax(&e.peakInFlight, e.inFlight.Add(1))
+	defer func() {
+		e.inFlight.Add(-1)
+		us := time.Since(start).Microseconds()
+		e.latencyUs.Add(us)
+		xsync.AtomicMax(&e.maxLatencyUs, us)
+		e.served.Add(1)
+	}()
+	if e.results == nil {
+		v, err = fetch()
+		e.cacheMisses.Add(1)
+		return v, false, err
+	}
+	key := "remote/" + req.Key()
+	if v, ok := e.results.get(key); ok {
+		e.cacheHits.Add(1)
+		return v, true, nil
+	}
+	executed := false
+	got, err := e.flight.DoCtx(ctx, key, func() (any, error) {
+		if v, ok := e.results.get(key); ok {
+			return v, nil
+		}
+		executed = true
+		v, err := fetch()
+		if err != nil {
+			return nil, err
+		}
+		e.results.put(key, v, approxBytes(v))
+		return v, nil
+	})
+	if err != nil {
+		e.cacheMisses.Add(1)
+		if ctx.Err() != nil && err == ctx.Err() {
+			e.canceled.Add(1)
+		}
+		return nil, false, err
+	}
+	if executed {
+		e.cacheMisses.Add(1)
+		return got, false, nil
+	}
+	e.cacheHits.Add(1)
+	return got, true, nil
+}
+
 // fill copies a cached computation into the per-call result envelope.
 func (r Result) fill(c cached, hit bool) Result {
 	r.Prediction = c.pred

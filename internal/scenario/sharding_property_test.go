@@ -1,0 +1,97 @@
+package scenario
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"dlrmperf/internal/workload"
+)
+
+// TestPlanShardsProperties (testing/quick) pins the planner's
+// contract over random table populations and device counts:
+//
+//   - every device gets at least one table (a shard must still build a
+//     valid DLRM graph) and every table is assigned exactly once;
+//   - the greedy-LPT balance bound holds: the busiest device exceeds
+//     the mean by at most the worst single table's cost (so Imbalance
+//     <= maxCost/meanLoad);
+//   - the plan is deterministic: planning the same input twice is
+//     bit-identical.
+func TestPlanShardsProperties(t *testing.T) {
+	const dim = int64(64)
+	f := func(rawRows []uint32, nRaw uint8) bool {
+		if len(rawRows) == 0 {
+			return true // no tables: PlanShards correctly errors; not this property's domain
+		}
+		tables := make([]workload.TableSpec, len(rawRows))
+		maxCost := 0.0
+		total := 0.0
+		for i, r := range rawRows {
+			rows := int64(1 + r%1_000_000)
+			tables[i] = workload.TableSpec{Rows: rows, Lookups: 1 + int64(r)%64}
+			cost := float64(rows) * float64(dim)
+			total += cost
+			if cost > maxCost {
+				maxCost = cost
+			}
+		}
+		n := 1 + int(nRaw)%len(tables)
+
+		p, err := PlanShards(tables, dim, n)
+		if err != nil {
+			t.Logf("PlanShards(%d tables, %d devices): %v", len(tables), n, err)
+			return false
+		}
+		// No empty devices; every table assigned exactly once.
+		assigned := map[int]int{}
+		for d, idxs := range p.Assignments {
+			if len(idxs) == 0 {
+				t.Logf("device %d empty", d)
+				return false
+			}
+			for _, ti := range idxs {
+				assigned[ti]++
+			}
+		}
+		if len(assigned) != len(tables) {
+			t.Logf("assigned %d of %d tables", len(assigned), len(tables))
+			return false
+		}
+		for ti, cnt := range assigned {
+			if cnt != 1 {
+				t.Logf("table %d assigned %d times", ti, cnt)
+				return false
+			}
+		}
+		// Load bookkeeping and the LPT bound.
+		const eps = 1e-6
+		sum := 0.0
+		for _, l := range p.Loads {
+			sum += l
+		}
+		if math.Abs(sum-total) > eps*total {
+			t.Logf("loads sum %v != total %v", sum, total)
+			return false
+		}
+		if p.MaxLoad > p.MeanLoad+maxCost+eps*total {
+			t.Logf("LPT bound broken: max %v > mean %v + worst table %v", p.MaxLoad, p.MeanLoad, maxCost)
+			return false
+		}
+		if p.Imbalance() > maxCost/p.MeanLoad+eps {
+			t.Logf("imbalance %v beyond worst-single-table bound %v", p.Imbalance(), maxCost/p.MeanLoad)
+			return false
+		}
+		// Determinism.
+		p2, err := PlanShards(tables, dim, n)
+		if err != nil || !reflect.DeepEqual(p, p2) {
+			t.Logf("replanning differed: %v", err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

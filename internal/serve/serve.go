@@ -314,19 +314,44 @@ func (s *Server) ServedDevices() []string {
 
 // Stats assembles the live counters of the admission queue, the
 // engine's stream/cache counters, and the asset store.
+//
+// The snapshot is built from independent atomic loads, so its
+// invariant (Accounted() <= Requests on every snapshot, equality at
+// quiescence) depends on read ORDER: every request increments the
+// received total at admission, strictly before it can land in any
+// terminal bucket (hit, miss, or a rejection). Loading all bucket
+// counters first and the request total LAST therefore guarantees no
+// bucket is ever observed ahead of the total that contains it —
+// whereas the opposite order could observe a request's bucket without
+// its admission and report hits+misses+rejected > requests under
+// load. TestStatsSnapshotInvariantUnderLoad hammers exactly this.
 func (s *Server) Stats() Stats {
 	b := s.cfg.Backend
+	// Terminal buckets first (monotonic counters, sinks)...
+	validation := b.RejectedRequests()
 	hits, misses := b.CacheStats()
+	queueFull := s.queueFullRejects.Load()
+	draining := s.drainingRejects.Load()
+	canceledAdmits := s.canceledAdmits.Load()
 	ss := b.StreamStats()
+	// ...the request total last (source).
+	requests := s.received.Load()
+
+	cals := map[string]int{}
+	for _, d := range b.Devices() {
+		if n := b.CalibrationRuns(d); n > 0 {
+			cals[d] = n
+		}
+	}
 	return Stats{
-		Requests: s.received.Load(),
+		Requests: requests,
 		Served:   ss.Served,
 		Canceled: ss.Canceled,
 		Rejected: RejectedStats{
-			Validation: b.RejectedRequests(),
-			QueueFull:  s.queueFullRejects.Load(),
-			Draining:   s.drainingRejects.Load(),
-			Canceled:   s.canceledAdmits.Load(),
+			Validation: validation,
+			QueueFull:  queueFull,
+			Draining:   draining,
+			Canceled:   canceledAdmits,
 		},
 		Queue: QueueStats{
 			Depth:        len(s.queue),
@@ -344,10 +369,11 @@ func (s *Server) Stats() Stats {
 		Cache: CacheStats{
 			Hits:     hits,
 			Misses:   misses,
-			Rejected: b.RejectedRequests(),
+			Rejected: validation,
 		},
-		Assets:   b.AssetStats(),
-		Draining: s.Draining(),
+		Assets:       b.AssetStats(),
+		Calibrations: cals,
+		Draining:     s.Draining(),
 	}
 }
 
@@ -362,85 +388,67 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// httpError is the JSON error envelope of non-200 responses.
-type httpError struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
-}
-
 // retryAfterSeconds renders the backpressure hint, at least 1s.
 func (s *Server) retryAfterSeconds() string {
-	secs := int(s.cfg.RetryAfter / time.Second)
-	if secs < 1 {
-		secs = 1
-	}
-	return fmt.Sprintf("%d", secs)
+	return RetryAfterSeconds(s.cfg.RetryAfter)
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	var req Request
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, httpError{Code: "bad_request", Message: err.Error()})
+		WriteJSON(w, http.StatusBadRequest, HTTPError{Code: "bad_request", Message: err.Error()})
 		return
 	}
 	res, err := s.TrySubmit(r.Context(), req)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", s.retryAfterSeconds())
-		writeJSON(w, http.StatusTooManyRequests, httpError{Code: "queue_full", Message: err.Error()})
+		WriteJSON(w, http.StatusTooManyRequests, HTTPError{Code: "queue_full", Message: err.Error()})
 	case errors.Is(err, ErrDraining):
 		w.Header().Set("Retry-After", s.retryAfterSeconds())
-		writeJSON(w, http.StatusServiceUnavailable, httpError{Code: "draining", Message: err.Error()})
+		WriteJSON(w, http.StatusServiceUnavailable, HTTPError{Code: "draining", Message: err.Error()})
 	case err != nil:
 		// Unreachable today — non-blocking admission fails only with the
 		// two sentinels above — kept as a defensive catch-all so a future
 		// admit error cannot masquerade as a 200.
-		writeJSON(w, http.StatusInternalServerError, httpError{Code: "internal", Message: err.Error()})
+		WriteJSON(w, http.StatusInternalServerError, HTTPError{Code: "internal", Message: err.Error()})
 	default:
-		writeJSON(w, http.StatusOK, res)
+		WriteJSON(w, http.StatusOK, res)
 	}
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var reqs []Request
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)).Decode(&reqs); err != nil {
-		writeJSON(w, http.StatusBadRequest, httpError{Code: "bad_request", Message: err.Error()})
+		WriteJSON(w, http.StatusBadRequest, HTTPError{Code: "bad_request", Message: err.Error()})
 		return
 	}
 	if len(reqs) == 0 {
-		writeJSON(w, http.StatusBadRequest, httpError{Code: "bad_request", Message: "empty request list"})
+		WriteJSON(w, http.StatusBadRequest, HTTPError{Code: "bad_request", Message: "empty request list"})
 		return
 	}
 	if len(reqs) > s.cfg.MaxBatch {
-		writeJSON(w, http.StatusBadRequest, httpError{
+		WriteJSON(w, http.StatusBadRequest, HTTPError{
 			Code:    "batch_too_large",
 			Message: fmt.Sprintf("batch of %d exceeds the %d-row limit; split it", len(reqs), s.cfg.MaxBatch),
 		})
 		return
 	}
-	writeJSON(w, http.StatusOK, s.Run(r.Context(), reqs))
+	WriteJSON(w, http.StatusOK, s.Run(r.Context(), reqs))
 }
 
 func (s *Server) handleScenarios(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, dlrmperf.Scenarios())
+	WriteJSON(w, http.StatusOK, dlrmperf.Scenarios())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if s.Draining() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		WriteJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+	WriteJSON(w, http.StatusOK, map[string]any{"status": "ok"})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.Stats())
+	WriteJSON(w, http.StatusOK, s.Stats())
 }

@@ -258,6 +258,86 @@ func TestConcurrentClientsRace(t *testing.T) {
 	assertInvariant(t, st)
 }
 
+// TestStatsSnapshotInvariantUnderLoad hammers Stats() from a dedicated
+// goroutine while concurrent clients mix computed, duplicate, rejected,
+// queue-full, and blocked traffic, asserting the accounting invariant
+// Accounted() <= Requests on EVERY snapshot — not just at quiescence.
+// The bound is only guaranteed by Stats' monotonic read order (bucket
+// counters before the request total); with the order reversed a bucket
+// increment can be observed without its admission and the snapshot
+// reads hits+misses+rejected > requests. Run under -race this is also
+// the data-race check on the snapshot path.
+func TestStatsSnapshotInvariantUnderLoad(t *testing.T) {
+	fb := newFakeBackend()
+	close(fb.release) // nothing parks; traffic flows freely
+	s := New(Config{Backend: fb, QueueDepth: 4, Workers: 2})
+	defer s.Drain()
+
+	stop := make(chan struct{})
+	var snapshots atomic.Uint64
+	var hammer sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		hammer.Add(1)
+		go func() {
+			defer hammer.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := s.Stats()
+				snapshots.Add(1)
+				if got := st.Accounted(); got > st.Requests {
+					t.Errorf("snapshot overshoot: hits %d + misses %d + rejected %d = %d > requests %d",
+						st.Cache.Hits, st.Cache.Misses, st.Rejected.Total(), got, st.Requests)
+					return
+				}
+			}
+		}()
+	}
+
+	const clients, perClient = 16, 50
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				req := Request{Workload: "dup", Device: "FakeGPU"}
+				switch {
+				case i%5 == 0:
+					req.Workload = "reject" // backend validation reject
+				case i%7 == 0:
+					req.Workload = "u" // distinct scenario: a miss
+				}
+				if c%2 == 0 {
+					s.Submit(context.Background(), req)
+				} else {
+					// Non-blocking: some of these shed with queue-full,
+					// exercising the server-side rejection buckets too.
+					s.TrySubmit(context.Background(), req)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(stop)
+	hammer.Wait()
+
+	if snapshots.Load() == 0 {
+		t.Fatal("hammer took no snapshots")
+	}
+	st := s.Stats()
+	if st.Requests != clients*perClient {
+		t.Fatalf("requests = %d, want %d", st.Requests, clients*perClient)
+	}
+	if got := st.Accounted(); got != st.Requests {
+		t.Fatalf("quiescent invariant broken: accounted %d != requests %d\n%+v", got, st.Requests, st)
+	}
+	t.Logf("%d snapshots verified against %d requests", snapshots.Load(), st.Requests)
+}
+
 // tinyConfig is the shared low-fidelity calibration preset, so the
 // integration test calibrates in fractions of a second.
 func tinyConfig() dlrmperf.EngineConfig {

@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"encoding/json"
 	"fmt"
+	"net/http"
 	"time"
 
 	"dlrmperf"
@@ -135,12 +137,14 @@ type LatencyStats struct {
 // asset-store counters. The accounting invariant — every admitted
 // request lands in exactly one bucket — is
 //
-//	Cache.Hits + Cache.Misses + Rejected.Total() == Requests
+//	Cache.Hits + Cache.Misses + Rejected.Total() <= Requests
 //
-// with canceled requests a subset of the misses. It holds at
-// quiescence: a request in flight has already been counted in
-// Requests but not yet in a bucket, so a snapshot under load can read
-// hits+misses+rejected < requests by exactly the in-flight count.
+// on EVERY snapshot, with equality at quiescence; canceled requests
+// are a subset of the misses. The slack is exactly the requests in
+// flight at snapshot time (admitted, not yet bucketed). The one-sided
+// bound is guaranteed by Stats' read order — every bucket counter is
+// loaded BEFORE the request total, so a bucket can never be observed
+// ahead of the total that contains it (see Server.Stats).
 type Stats struct {
 	Requests uint64              `json:"requests"`
 	Served   uint64              `json:"served"`
@@ -150,7 +154,19 @@ type Stats struct {
 	Latency  LatencyStats        `json:"latency"`
 	Cache    CacheStats          `json:"cache"`
 	Assets   dlrmperf.AssetStats `json:"assets"`
-	Draining bool                `json:"draining"`
+	// Calibrations maps each device that calibrated in this process to
+	// its executed calibration count (normally 1; 0-count devices are
+	// omitted). The cluster coordinator merges these per-worker maps to
+	// prove device-affine routing.
+	Calibrations map[string]int `json:"calibrations,omitempty"`
+	Draining     bool           `json:"draining"`
+}
+
+// Accounted sums the terminal buckets of a snapshot: cache hits,
+// misses, and every rejection. The snapshot invariant is
+// Accounted() <= Requests, with equality at quiescence.
+func (s Stats) Accounted() uint64 {
+	return s.Cache.Hits + s.Cache.Misses + s.Rejected.Total()
 }
 
 // Report is the full output document of a batch run (the one-shot
@@ -173,6 +189,35 @@ type Report struct {
 	Latency      LatencyStats        `json:"latency"`
 	Assets       dlrmperf.AssetStats `json:"assets"`
 	Error        *ReportError        `json:"error,omitempty"`
+}
+
+// HTTPError is the JSON error envelope of non-200 responses — shared
+// by the worker surface here and the cluster coordinator, so clients
+// parse one shape whichever layer rejected them.
+type HTTPError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// WriteJSON renders v as an indented JSON response with the given
+// status. It is the single response writer of the serving wire surface
+// (worker and coordinator alike).
+func WriteJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// RetryAfterSeconds renders a backpressure hint as whole seconds, at
+// least 1 — the Retry-After header value on 429/503 responses.
+func RetryAfterSeconds(d time.Duration) string {
+	secs := int(d / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprintf("%d", secs)
 }
 
 // Report assembles the batch report from finished rows plus the
