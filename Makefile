@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt bench bench-assets bench-check bench-baseline serve-demo serve-http cluster-e2e cover check
+.PHONY: build test race vet fmt bench bench-assets bench-check bench-baseline bench-ratchet serve-demo serve-http cluster-e2e cover check
 
 build:
 	$(GO) build ./...
@@ -29,19 +29,30 @@ bench-assets:
 	$(GO) run ./cmd/dlrmperf-bench -mode assetstore -n 2000
 
 # bench-check is the local bench-regression gate (the CI bench job runs
-# the same steps): measure the two tracked hot paths, parse them into
+# the same steps): measure the tracked hot paths, parse them into
 # BENCH_pr.json, and compare against the checked-in baseline — failing
 # on >25% ns/op or >10% allocs/op regressions.
-BENCH_PATTERN = PredictBatchCached$$|CalibrateParallel$$
+BENCH_PATTERN = PredictBatchCached$$|PredictSingleCached$$|CalibrateParallel$$|CompilePlan$$
+BENCH_PKGS = . ./internal/engine
 bench-check:
-	$(GO) test -run xxx -bench '$(BENCH_PATTERN)' -benchmem -count 5 . | tee BENCH_pr.txt
+	$(GO) test -run xxx -bench '$(BENCH_PATTERN)' -benchmem -count 5 $(BENCH_PKGS) | tee BENCH_pr.txt
 	$(GO) run ./cmd/benchdiff -parse -in BENCH_pr.txt -o BENCH_pr.json
 	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json -current BENCH_pr.json
 
 # bench-baseline regenerates BENCH_baseline.json from the current tree
 # (run on the reference machine after an intentional perf change).
 bench-baseline:
-	$(GO) test -run xxx -bench '$(BENCH_PATTERN)' -benchmem -count 5 . | $(GO) run ./cmd/benchdiff -parse -o BENCH_baseline.json
+	$(GO) test -run xxx -bench '$(BENCH_PATTERN)' -benchmem -count 5 $(BENCH_PKGS) | $(GO) run ./cmd/benchdiff -parse -o BENCH_baseline.json
+
+# bench-ratchet tightens the checked-in baseline to the per-metric
+# minimum of the baseline and a fresh run. It can only ever keep or
+# shrink each bound (a slower run leaves the file untouched), so an
+# intentional perf win committed through this target becomes the new
+# regression floor that bench-check enforces.
+bench-ratchet:
+	$(GO) test -run xxx -bench '$(BENCH_PATTERN)' -benchmem -count 5 $(BENCH_PKGS) | tee BENCH_pr.txt
+	$(GO) run ./cmd/benchdiff -parse -in BENCH_pr.txt -o BENCH_pr.json
+	$(GO) run ./cmd/benchdiff -ratchet -baseline BENCH_baseline.json -current BENCH_pr.json -o BENCH_baseline.json
 
 # serve-demo serves the checked-in mixed single/multi-GPU scenario
 # fixture through one engine and prints the JSON report (cache

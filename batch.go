@@ -223,7 +223,10 @@ func (e *Engine) PredictContext(ctx context.Context, req PredictRequest) Predict
 		e.eng.RejectRequest()
 		return PredictResult{Request: req, Err: err}
 	}
-	return fromEngine(req, e.eng.PredictCtx(ctx, ereq))
+	r := e.eng.PredictCtx(ctx, ereq)
+	var res PredictResult
+	fromEngine(&res, req, &r)
+	return res
 }
 
 // PredictBatch fans the requests out across the engine's worker pool
@@ -242,8 +245,8 @@ func (e *Engine) PredictBatch(reqs []PredictRequest) []PredictResult {
 // without aborting or poisoning any in-flight computation.
 func (e *Engine) PredictBatchContext(ctx context.Context, reqs []PredictRequest) []PredictResult {
 	out := make([]PredictResult, len(reqs))
-	var ereqs []engine.Request
-	var idx []int
+	ereqs := make([]engine.Request, 0, len(reqs))
+	idx := make([]int, 0, len(reqs))
 	for i, r := range reqs {
 		if err := e.checkServes(r.Device); err != nil {
 			e.eng.RejectRequest()
@@ -259,8 +262,9 @@ func (e *Engine) PredictBatchContext(ctx context.Context, reqs []PredictRequest)
 		ereqs = append(ereqs, ereq)
 		idx = append(idx, i)
 	}
-	for j, r := range e.eng.PredictBatchCtx(ctx, ereqs) {
-		out[idx[j]] = fromEngine(reqs[idx[j]], r)
+	res := e.eng.PredictBatchCtx(ctx, ereqs)
+	for j := range res {
+		fromEngine(&out[idx[j]], reqs[idx[j]], &res[j])
 	}
 	return out
 }
@@ -316,14 +320,15 @@ func toEngine(req PredictRequest) (engine.Request, error) {
 	return engine.Request{Device: req.Device, Scenario: spec, Shared: req.SharedOverheads}, nil
 }
 
-func fromEngine(req PredictRequest, r engine.Result) PredictResult {
-	res := PredictResult{
-		Request:           req,
-		GPUs:              r.Request.Scenario.NumDevices(),
-		ScalingEfficiency: r.ScalingEfficiency(),
-		CacheHit:          r.CacheHit,
-		Err:               r.Err,
-	}
+// fromEngine flattens an engine result into *res in place — pointer in,
+// pointer out, so the warm batch path moves each large result struct
+// exactly once.
+func fromEngine(res *PredictResult, req PredictRequest, r *engine.Result) {
+	res.Request = req
+	res.GPUs = r.Request.Scenario.NumDevices()
+	res.ScalingEfficiency = r.ScalingEfficiency()
+	res.CacheHit = r.CacheHit
+	res.Err = r.Err
 	if res.Err == nil {
 		res.Prediction = Prediction{
 			E2EUs:    r.Prediction.E2E,
@@ -338,7 +343,6 @@ func fromEngine(req PredictRequest, r engine.Result) PredictResult {
 	if r.Plan != nil {
 		res.ShardImbalance = r.Plan.Imbalance()
 	}
-	return res
 }
 
 // Calibrate eagerly calibrates every device in the engine's set, in

@@ -262,6 +262,27 @@ func BenchmarkPredictBatchCached(b *testing.B) { benchmarkPredictBatch(b, 0) }
 
 func BenchmarkPredictBatchCold(b *testing.B) { benchmarkPredictBatch(b, -1) }
 
+// BenchmarkPredictSingleCached is the per-request floor of the warm
+// serve path: one facade Predict whose result is already resident, so
+// an iteration is a pooled key build, one store lookup, and an in-place
+// result fill — no graph reconstruction, no sharding plan re-run.
+func BenchmarkPredictSingleCached(b *testing.B) {
+	eng, err := NewEngineWith(fastEngineConfig(V100))
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := PredictRequest{Workload: DLRMDefault, Batch: 512, Device: V100}
+	if res := eng.Predict(req); res.Err != nil { // warm assets and the result cache
+		b.Fatal(res.Err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := eng.Predict(req); res.Err != nil {
+			b.Fatal(res.Err)
+		}
+	}
+}
+
 // BenchmarkPredictOnce measures the cost of a single Algorithm 1
 // prediction over DLRM_default's graph — the paper notes a full E2E
 // prediction completes in seconds; here it is microseconds because the

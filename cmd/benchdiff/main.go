@@ -18,6 +18,19 @@
 // threshold (-max-allocs, default +10% allocs/op). Allocation counts
 // are deterministic, so the tight bound is the real tripwire;
 // the generous time bound absorbs machine-to-machine variance.
+//
+// The ratchet mode (`make bench-ratchet`) makes performance wins
+// permanent:
+//
+//	benchdiff -ratchet -baseline BENCH_baseline.json -current BENCH_pr.json -o BENCH_baseline.json
+//
+// rewrites the baseline with, per benchmark and per metric, the
+// minimum of the old baseline and the current run — benchmarks new in
+// the current run are added, baseline-only benchmarks are kept, and no
+// metric can ever loosen (a slower current run leaves the baseline
+// byte-identical). Committing the ratcheted baseline turns today's
+// improvement into tomorrow's regression gate: a future PR that gives
+// the headroom back fails the ordinary compare.
 package main
 
 import (
@@ -55,8 +68,9 @@ func main() {
 	parse := flag.Bool("parse", false, "parse `go test -bench` text from stdin (or -in) into JSON")
 	in := flag.String("in", "-", "bench text input for -parse (- for stdin)")
 	out := flag.String("o", "-", "JSON output for -parse (- for stdout)")
-	baseline := flag.String("baseline", "", "baseline suite JSON (compare mode)")
-	current := flag.String("current", "", "current suite JSON (compare mode)")
+	baseline := flag.String("baseline", "", "baseline suite JSON (compare/ratchet mode)")
+	current := flag.String("current", "", "current suite JSON (compare/ratchet mode)")
+	ratchet := flag.Bool("ratchet", false, "tighten the baseline to per-metric minima of baseline and current, writing to -o")
 	maxTime := flag.Float64("max-time", 0.25, "maximum allowed ns/op regression (0.25 = +25%)")
 	maxAllocs := flag.Float64("max-allocs", 0.10, "maximum allowed allocs/op regression (0.10 = +10%)")
 	flag.Parse()
@@ -75,14 +89,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		data, err := json.MarshalIndent(suite, "", "  ")
-		if err != nil {
-			fail(err)
-		}
-		data = append(data, '\n')
-		if *out == "-" {
-			os.Stdout.Write(data)
-		} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		if err := writeSuite(*out, suite); err != nil {
 			fail(err)
 		}
 		return
@@ -99,11 +106,89 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	if *ratchet {
+		merged, notes := ratchetSuite(base, cur)
+		for _, n := range notes {
+			fmt.Println(n)
+		}
+		if len(notes) == 0 {
+			fmt.Println("ratchet: no metric tightened; baseline unchanged")
+		}
+		if err := writeSuite(*out, merged); err != nil {
+			fail(err)
+		}
+		return
+	}
 	report, regressions := compare(base, cur, *maxTime, *maxAllocs)
 	fmt.Print(report)
 	if len(regressions) > 0 {
 		fail(fmt.Errorf("%d benchmark regression(s)", len(regressions)))
 	}
+}
+
+// writeSuite marshals a suite to path ("-" for stdout).
+func writeSuite(path string, s Suite) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ratchetSuite merges the current run into the baseline, keeping per
+// benchmark and per metric the minimum of the two. Benchmarks only in
+// the baseline survive unchanged; benchmarks only in the current run
+// are added. The merge is monotone: no metric in the returned suite is
+// ever larger than its baseline value, so a slower current run cannot
+// loosen the gate. notes describes each tightening for the log.
+func ratchetSuite(base, cur Suite) (Suite, []string) {
+	merged := Suite{Benchmarks: make(map[string]Sample, len(base.Benchmarks))}
+	for name, bs := range base.Benchmarks {
+		merged.Benchmarks[name] = bs
+	}
+	names := make([]string, 0, len(cur.Benchmarks))
+	for name := range cur.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var notes []string
+	for _, name := range names {
+		cs := cur.Benchmarks[name]
+		bs, ok := merged.Benchmarks[name]
+		if !ok {
+			merged.Benchmarks[name] = cs
+			notes = append(notes, fmt.Sprintf("ratchet: %s added (%.0f ns/op, %d allocs/op)",
+				name, cs.NsPerOp, cs.AllocsPerOp))
+			continue
+		}
+		next := bs
+		var parts []string
+		if cs.NsPerOp > 0 && (bs.NsPerOp <= 0 || cs.NsPerOp < bs.NsPerOp) {
+			next.NsPerOp = cs.NsPerOp
+			parts = append(parts, fmt.Sprintf("ns/op %.0f -> %.0f", bs.NsPerOp, cs.NsPerOp))
+		}
+		if cs.BytesPerOp >= 0 && (bs.BytesPerOp < 0 || cs.BytesPerOp < bs.BytesPerOp) {
+			next.BytesPerOp = cs.BytesPerOp
+			parts = append(parts, fmt.Sprintf("B/op %d -> %d", bs.BytesPerOp, cs.BytesPerOp))
+		}
+		if cs.AllocsPerOp >= 0 && (bs.AllocsPerOp < 0 || cs.AllocsPerOp < bs.AllocsPerOp) {
+			next.AllocsPerOp = cs.AllocsPerOp
+			parts = append(parts, fmt.Sprintf("allocs/op %d -> %d", bs.AllocsPerOp, cs.AllocsPerOp))
+		}
+		if len(parts) == 0 {
+			continue // current run is no better anywhere: baseline entry untouched
+		}
+		next.Samples = cs.Samples
+		merged.Benchmarks[name] = next
+		notes = append(notes, fmt.Sprintf("ratchet: %s tightened (%s)", name, strings.Join(parts, ", ")))
+	}
+	return merged, notes
 }
 
 func loadSuite(path string) (Suite, error) {

@@ -111,6 +111,102 @@ func TestCompareTimeRegression(t *testing.T) {
 	}
 }
 
+// TestRatchetTightens: a faster current run pulls the baseline down to
+// the new minima, per metric independently.
+func TestRatchetTightens(t *testing.T) {
+	base := parsed(t)
+	cur := Suite{Benchmarks: map[string]Sample{}}
+	for name, s := range base.Benchmarks {
+		s.NsPerOp *= 0.5
+		s.AllocsPerOp /= 2
+		s.Samples = 5
+		cur.Benchmarks[name] = s
+	}
+	merged, notes := ratchetSuite(base, cur)
+	if len(notes) != 2 {
+		t.Fatalf("ratchet produced %d notes, want 2: %v", len(notes), notes)
+	}
+	for name, bs := range base.Benchmarks {
+		ms := merged.Benchmarks[name]
+		if ms.NsPerOp != bs.NsPerOp*0.5 || ms.AllocsPerOp != bs.AllocsPerOp/2 {
+			t.Errorf("%s not tightened: base %+v merged %+v", name, bs, ms)
+		}
+		if ms.Samples != 5 {
+			t.Errorf("%s did not take current sample count: %+v", name, ms)
+		}
+	}
+}
+
+// TestRatchetNeverLoosens is the gate's key invariant: a slower,
+// heavier current run leaves every baseline metric untouched, so a
+// ratchet run can only ever keep or shrink the bounds.
+func TestRatchetNeverLoosens(t *testing.T) {
+	base := parsed(t)
+	cur := Suite{Benchmarks: map[string]Sample{}}
+	for name, s := range base.Benchmarks {
+		s.NsPerOp *= 3
+		s.BytesPerOp *= 3
+		s.AllocsPerOp *= 3
+		cur.Benchmarks[name] = s
+	}
+	merged, notes := ratchetSuite(base, cur)
+	if len(notes) != 0 {
+		t.Fatalf("slower run produced ratchet notes: %v", notes)
+	}
+	for name, bs := range base.Benchmarks {
+		if merged.Benchmarks[name] != bs {
+			t.Errorf("%s loosened: base %+v merged %+v", name, bs, merged.Benchmarks[name])
+		}
+	}
+}
+
+// TestRatchetMixedDirections: one metric improves while another
+// regresses; only the improvement lands.
+func TestRatchetMixedDirections(t *testing.T) {
+	base := parsed(t)
+	cur := Suite{Benchmarks: map[string]Sample{}}
+	for name, s := range base.Benchmarks {
+		s.NsPerOp *= 0.8 // faster
+		s.AllocsPerOp *= 2
+		cur.Benchmarks[name] = s
+	}
+	merged, _ := ratchetSuite(base, cur)
+	for name, bs := range base.Benchmarks {
+		ms := merged.Benchmarks[name]
+		if ms.NsPerOp != bs.NsPerOp*0.8 {
+			t.Errorf("%s ns/op not tightened: %+v", name, ms)
+		}
+		if ms.AllocsPerOp != bs.AllocsPerOp {
+			t.Errorf("%s allocs/op loosened from %d to %d", name, bs.AllocsPerOp, ms.AllocsPerOp)
+		}
+	}
+}
+
+// TestRatchetAddsAndKeeps: benchmarks new in the current run join the
+// baseline; baseline-only benchmarks survive so a ratchet run can never
+// silently drop a gate.
+func TestRatchetAddsAndKeeps(t *testing.T) {
+	base := parsed(t)
+	cur := Suite{Benchmarks: map[string]Sample{
+		"PredictSingleCached": {NsPerOp: 900, BytesPerOp: 512, AllocsPerOp: 3, Samples: 5},
+	}}
+	merged, notes := ratchetSuite(base, cur)
+	if len(merged.Benchmarks) != len(base.Benchmarks)+1 {
+		t.Fatalf("merged has %d benchmarks, want %d", len(merged.Benchmarks), len(base.Benchmarks)+1)
+	}
+	if got := merged.Benchmarks["PredictSingleCached"]; got.NsPerOp != 900 || got.AllocsPerOp != 3 {
+		t.Errorf("new benchmark not added verbatim: %+v", got)
+	}
+	for name, bs := range base.Benchmarks {
+		if merged.Benchmarks[name] != bs {
+			t.Errorf("baseline-only %s changed: %+v", name, merged.Benchmarks[name])
+		}
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "added") {
+		t.Errorf("added benchmark not noted: %v", notes)
+	}
+}
+
 // TestCompareMissingBenchmark: a benchmark that vanished from the
 // current run fails the gate (a silently-deleted benchmark must not
 // pass).

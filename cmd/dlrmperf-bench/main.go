@@ -25,6 +25,13 @@
 // the hit-rate curve with eviction and resident-byte counters:
 //
 //	dlrmperf-bench -mode assetstore -n 2000
+//
+// Every mode accepts -cpuprofile and -memprofile, writing pprof
+// profiles of the run for the optimization workflow documented in the
+// README's Performance section:
+//
+//	dlrmperf-bench -mode calibrate -cpuprofile calib.pprof
+//	go tool pprof -top calib.pprof
 package main
 
 import (
@@ -32,6 +39,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"text/tabwriter"
 
 	"dlrmperf/internal/engine"
@@ -58,7 +67,36 @@ func main() {
 	workers := flag.Int("workers", 0, "calibrate mode: worker pool size (0 = GOMAXPROCS)")
 	save := flag.String("save", "", "calibrate mode: write the device's portable assets to this path")
 	out := flag.String("o", "", "sweep mode: output JSON path (default: stdout)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
+	memprofile := flag.String("memprofile", "", "write an allocation profile at exit to this path")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects so the profile shows retention, not churn
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fail(err)
+			}
+		}()
+	}
 
 	switch *mode {
 	case "sweep":

@@ -32,6 +32,10 @@
 //	GET  /healthz           liveness (503 while draining)
 //	GET  /stats             admission/stream/cache/asset counters
 //
+// With -pprof the net/http/pprof surface is additionally mounted under
+// /debug/pprof/ (worker and coordinator modes alike) for profiling a
+// live serving process; it is never exposed without the flag.
+//
 // SIGTERM/SIGINT drain gracefully: in-flight requests finish, new
 // admissions are rejected, and -save-assets (if set) re-saves every
 // device that served before the process exits.
@@ -64,6 +68,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	httppprof "net/http/pprof"
 	"net/url"
 	"os"
 	"os/signal"
@@ -104,6 +109,7 @@ func main() {
 	advertise := flag.String("advertise", "", "base URL this worker advertises when registering (default http://<listen address>)")
 	heartbeat := flag.Duration("heartbeat", 2*time.Second, "worker re-registration interval under -register")
 	liveness := flag.Duration("liveness", cluster.DefaultLiveness, "coordinator liveness window: a registered worker missing heartbeats this long stops being routed to")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the HTTP listener (live profiling of a serving process)")
 	flag.Parse()
 
 	if *listScenarios {
@@ -128,6 +134,7 @@ func main() {
 			RetryAfter:    *retryAfter,
 			DrainGrace:    *drainGrace,
 			Seed:          *seed,
+			Pprof:         *pprofOn,
 		})
 		if err != nil {
 			fail(err)
@@ -149,6 +156,7 @@ func main() {
 		Register:   *register,
 		Advertise:  *advertise,
 		Heartbeat:  *heartbeat,
+		Pprof:      *pprofOn,
 	}
 
 	if *listen != "" {
@@ -205,6 +213,9 @@ type serveConfig struct {
 	Advertise string
 	// Heartbeat is the re-registration interval.
 	Heartbeat time.Duration
+	// Pprof mounts net/http/pprof under /debug/pprof/ (opt-in: the
+	// profiling surface is never exposed by default).
+	Pprof bool
 }
 
 // engineConfig assembles the engine options of a run. fast selects the
@@ -348,6 +359,11 @@ func listenAndServe(cfg serveConfig, addr string) error {
 		fmt.Fprintf(os.Stderr, "dlrmperf-serve: registering with %s as %s\n", cfg.Register, advertise)
 	}
 
+	if cfg.Pprof {
+		handler = withPprof(handler)
+		fmt.Fprintf(os.Stderr, "dlrmperf-serve: pprof exposed at /debug/pprof/\n")
+	}
+
 	hs := &http.Server{Handler: handler}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
@@ -417,6 +433,22 @@ func advertiseHostPort(ln net.Listener, register string) string {
 	return net.JoinHostPort(host, fmt.Sprintf("%d", addr.Port))
 }
 
+// withPprof mounts the net/http/pprof surface in front of a handler:
+// /debug/pprof/ routes to the profiler, everything else passes through.
+// Explicit registration (instead of the package's init-time
+// DefaultServeMux side effect) keeps the surface off every mux that
+// did not opt in.
+func withPprof(next http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", next)
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	return mux
+}
+
 // coordinatorConfig parameterizes a coordinator run.
 type coordinatorConfig struct {
 	Addr          string
@@ -425,6 +457,7 @@ type coordinatorConfig struct {
 	RetryAfter    time.Duration
 	DrainGrace    time.Duration
 	Seed          uint64
+	Pprof         bool
 }
 
 // runCoordinator serves the cluster coordinator until SIGTERM/SIGINT,
@@ -454,7 +487,12 @@ func runCoordinator(cfg coordinatorConfig) error {
 	}
 	fmt.Fprintf(os.Stderr, "dlrmperf-serve: coordinator listening on %s (%d static workers, liveness %s)\n",
 		ln.Addr(), len(cfg.StaticWorkers), reg.TTL())
-	hs := &http.Server{Handler: coord.Handler()}
+	handler := http.Handler(coord.Handler())
+	if cfg.Pprof {
+		handler = withPprof(handler)
+		fmt.Fprintf(os.Stderr, "dlrmperf-serve: pprof exposed at /debug/pprof/\n")
+	}
+	hs := &http.Server{Handler: handler}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 

@@ -41,6 +41,10 @@ const (
 	// classGraph holds built workload execution graphs (including
 	// per-shard scenario graphs).
 	classGraph
+	// classPlan holds compiled scenario plans: a request resolved once
+	// into its per-shard graphs, LPT shard assignment, comm model, and
+	// bound predictor, so steady-state prediction is lookup + arithmetic.
+	classPlan
 	// classResult holds finished predictions keyed by request identity.
 	classResult
 	numAssetClasses
@@ -48,7 +52,7 @@ const (
 
 // ClassName renders an asset class for stats and reports.
 var classNames = [numAssetClasses]string{
-	"calibrations", "runs", "overheads", "graphs", "results",
+	"calibrations", "runs", "overheads", "graphs", "plans", "results",
 }
 
 // ClassStats is the observable state of one asset class: resident
@@ -133,6 +137,21 @@ func (c *classStore) get(key string) (any, bool) {
 	return el.Value.(*storeEntry).val, true
 }
 
+// getBytes is get keyed by a scratch byte buffer. The map index uses
+// the string(key) conversion form the compiler recognizes, so a hit
+// costs zero allocations — the hot-path lookup under pooled key
+// builders.
+func (c *classStore) getBytes(key []byte) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[string(key)]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*storeEntry).val, true
+}
+
 // put inserts (or refreshes) a value with its approximate size, then
 // evicts least-recently-used entries while over capacity. Pinned
 // classes never evict.
@@ -209,6 +228,7 @@ func newAssetStore(opts Options) *assetStore {
 	s.classes[classRun] = newClassStore(opts.AssetCaps.Runs, false)
 	s.classes[classOverheads] = newClassStore(opts.AssetCaps.Overheads, false)
 	s.classes[classGraph] = newClassStore(opts.AssetCaps.Graphs, false)
+	s.classes[classPlan] = newClassStore(opts.AssetCaps.Plans, false)
 	// The result class is created even when the result cache is
 	// disabled (negative ResultCacheSize) so its counters still report;
 	// Predict just never stores into it.
@@ -224,7 +244,7 @@ func (s *assetStore) class(c assetClass) *classStore { return s.classes[c] }
 
 // stats assembles the full per-class report.
 func (s *assetStore) stats() AssetStats {
-	var out AssetStats
+	out := AssetStats{Classes: make([]ClassStats, 0, len(s.classes))}
 	for i, c := range s.classes {
 		cs := c.stats(classNames[i])
 		out.Classes = append(out.Classes, cs)
@@ -281,6 +301,18 @@ func approxBytes(v any) int64 {
 			return int64(ptrOverhead + len(raw) + 64*len(t.Evals))
 		}
 		return fallbackSize
+	case *CompiledPlan:
+		// Graphs are shared with (and metered by) the graphs class;
+		// charge the plan only its own references and resolved state so
+		// the store never double-counts a graph.
+		n := int64(ptrOverhead) + 128 + 8*int64(len(t.graphs))
+		if t.plan != nil {
+			n += 64 + 8*int64(len(t.plan.Loads))
+			for _, a := range t.plan.Assignments {
+				n += 8 * int64(len(a))
+			}
+		}
+		return n
 	case cached:
 		n := int64(ptrOverhead) + 32 + int64(len(t.pred.PerOp))*opTimeBytes
 		if t.multi != nil {

@@ -18,8 +18,8 @@ package engine
 
 import (
 	"context"
-	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -70,9 +70,13 @@ type Options struct {
 	// the cold-path ablation).
 	ResultCacheSize int
 	// AssetCaps bounds the evictable asset classes of the engine's
-	// unified store (runs, overhead DBs, graphs). Calibrations are
-	// pinned and never evict.
+	// unified store (runs, overhead DBs, graphs, compiled plans).
+	// Calibrations are pinned and never evict.
 	AssetCaps AssetCaps
+	// DisableCompiledPlans routes predictions through the historical
+	// resolve-everything-per-request path instead of the compiled-plan
+	// cache — the ablation the bit-identity tests compare against.
+	DisableCompiledPlans bool
 }
 
 // AssetCaps bounds the resident entry count of each evictable asset
@@ -90,6 +94,10 @@ type AssetCaps struct {
 	// Graphs caps built workload/scenario execution graphs, including
 	// per-shard multi-GPU graphs (default 512).
 	Graphs int
+	// Plans caps compiled scenario plans — requests resolved once into
+	// executable form (default 512). An evicted plan recompiles from the
+	// graph class on next use and predicts identically.
+	Plans int
 }
 
 func (c AssetCaps) withDefaults() AssetCaps {
@@ -101,6 +109,9 @@ func (c AssetCaps) withDefaults() AssetCaps {
 	}
 	if c.Graphs == 0 {
 		c.Graphs = 512
+	}
+	if c.Plans == 0 {
+		c.Plans = 512
 	}
 	return c
 }
@@ -328,7 +339,7 @@ func (e *Engine) CalibrationRuns(device string) int {
 
 // Model returns the memoized built workload graph.
 func (e *Engine) Model(name string, batch int64) (*models.Model, error) {
-	key := fmt.Sprintf("model/%s/%d", name, batch)
+	key := "model/" + name + "/" + strconv.FormatInt(batch, 10)
 	return memo(e, classGraph, key, func() (*models.Model, error) {
 		return models.Build(name, batch)
 	})
@@ -337,7 +348,7 @@ func (e *Engine) Model(name string, batch int64) (*models.Model, error) {
 // Run returns the memoized measured (or profiled) simulated run of
 // model at batch on device.
 func (e *Engine) Run(device, model string, batch int64, profiled bool) (*sim.Result, error) {
-	key := fmt.Sprintf("run/%s/%s/%d/%v", device, model, batch, profiled)
+	key := "run/" + device + "/" + model + "/" + strconv.FormatInt(batch, 10) + "/" + strconv.FormatBool(profiled)
 	return memo(e, classRun, key, func() (*sim.Result, error) {
 		p, err := hw.ByName(device)
 		if err != nil {
@@ -429,7 +440,27 @@ func NewRequest(device, workloadName string, batch int64) Request {
 // Key is the request's cache identity: device, scenario fingerprint,
 // and overhead-database mode.
 func (r Request) Key() string {
-	return fmt.Sprintf("%s/%s/shared=%v", r.Device, r.Scenario.Fingerprint(), r.Shared)
+	return string(r.appendKey(nil))
+}
+
+// appendKey appends the cache identity to b — the allocation-free Key
+// used with pooled scratch buffers on the hot lookup path. The layout
+// (device/fingerprint/shared=bool) is pinned: it keys resident results
+// across engine restarts via warm-started stores.
+func (r *Request) appendKey(b []byte) []byte {
+	b = append(b, r.Device...)
+	b = append(b, '/')
+	b = r.Scenario.AppendFingerprint(b)
+	if r.Shared {
+		return append(b, "/shared=true"...)
+	}
+	return append(b, "/shared=false"...)
+}
+
+// keyBufPool recycles the scratch buffers behind appendKey so a cache
+// hit builds its lookup key with zero heap allocations.
+var keyBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 128); return &b },
 }
 
 // Result pairs a request with its prediction. For multi-device
@@ -551,11 +582,18 @@ func (e *Engine) PredictCtx(ctx context.Context, req Request) Result {
 		}
 		return res.fill(c, false)
 	}
-	key := req.Key()
-	if c, ok := e.results.get(key); ok {
+	kb := keyBufPool.Get().(*[]byte)
+	buf := req.appendKey((*kb)[:0])
+	if c, ok := e.results.getBytes(buf); ok {
+		*kb = buf
+		keyBufPool.Put(kb)
 		e.cacheHits.Add(1)
 		return res.fill(c.(cached), true)
 	}
+	// Miss: materialize the key once for the singleflight and the store.
+	key := string(buf)
+	*kb = buf
+	keyBufPool.Put(kb)
 	executed := false
 	got, err := e.flight.DoCtx(ctx, "predict/"+key, func() (any, error) {
 		if c, ok := e.results.get(key); ok {
@@ -620,11 +658,18 @@ func (e *Engine) RemoteResult(ctx context.Context, req Request, fetch func() (an
 		e.cacheMisses.Add(1)
 		return v, false, err
 	}
-	key := "remote/" + req.Key()
-	if v, ok := e.results.get(key); ok {
+	kb := keyBufPool.Get().(*[]byte)
+	buf := append((*kb)[:0], "remote/"...)
+	buf = req.appendKey(buf)
+	if v, ok := e.results.getBytes(buf); ok {
+		*kb = buf
+		keyBufPool.Put(kb)
 		e.cacheHits.Add(1)
 		return v, true, nil
 	}
+	key := string(buf)
+	*kb = buf
+	keyBufPool.Put(kb)
 	executed := false
 	got, err := e.flight.DoCtx(ctx, key, func() (any, error) {
 		if v, ok := e.results.get(key); ok {
@@ -675,10 +720,74 @@ func (e *Engine) PredictBatch(reqs []Request) []Result {
 // request observes ctx the way PredictCtx does, so canceling the
 // context abandons the whole batch without poisoning any in-flight
 // computation.
+//
+// Warm requests — result-cache hits and validation rejections — are
+// served inline on the calling goroutine before any fan-out, so a
+// fully-warm batch never pays the worker pool's goroutine and channel
+// traffic; only the requests that need computation are fanned out.
 func (e *Engine) PredictBatchCtx(ctx context.Context, reqs []Request) []Result {
 	out := make([]Result, len(reqs))
-	xsync.ForEachN(len(reqs), e.opts.Workers, func(i int) {
-		out[i] = e.PredictCtx(ctx, reqs[i])
+	var miss []int
+	for i := range reqs {
+		if !e.predictFast(ctx, &reqs[i], &out[i]) {
+			miss = append(miss, i)
+		}
+	}
+	if len(miss) == 0 {
+		return out
+	}
+	xsync.ForEachN(len(miss), e.opts.Workers, func(j int) {
+		out[miss[j]] = e.PredictCtx(ctx, reqs[miss[j]])
 	})
 	return out
+}
+
+// predictFast serves a request into *out if — and only if — no
+// computation is needed: a validation rejection, or a result-cache
+// hit. Its accounting is exactly PredictCtx's for those two outcomes
+// (one rejection, or one hit + one served with latency recorded);
+// anything else returns false with *out untouched, for PredictCtx to
+// handle in full. Validation runs before the lookup because
+// single-device identity drops the comm field: an invalid spec can
+// alias a valid cached one. Pointer in, pointer out: the request and
+// result structs are large enough that by-value passing shows up as
+// copy traffic on warm batches.
+func (e *Engine) predictFast(ctx context.Context, req *Request, out *Result) bool {
+	if e.results == nil {
+		return false
+	}
+	if err := req.Scenario.Validate(); err != nil {
+		e.rejected.Add(1)
+		out.Request = *req
+		out.Err = err
+		return true
+	}
+	if ctx.Err() != nil {
+		// Cancellation accounting (miss + canceled) belongs to the slow
+		// path, which re-observes ctx at entry.
+		return false
+	}
+	start := time.Now()
+	kb := keyBufPool.Get().(*[]byte)
+	buf := req.appendKey((*kb)[:0])
+	c, ok := e.results.getBytes(buf)
+	*kb = buf
+	keyBufPool.Put(kb)
+	if !ok {
+		return false
+	}
+	xsync.AtomicMax(&e.peakInFlight, e.inFlight.Add(1))
+	e.cacheHits.Add(1)
+	cc := c.(cached)
+	out.Request = *req
+	out.Prediction = cc.pred
+	out.Multi = cc.multi
+	out.Plan = cc.plan
+	out.CacheHit = true
+	e.inFlight.Add(-1)
+	us := time.Since(start).Microseconds()
+	e.latencyUs.Add(us)
+	xsync.AtomicMax(&e.maxLatencyUs, us)
+	e.served.Add(1)
+	return true
 }

@@ -3,38 +3,57 @@ package engine
 import (
 	"fmt"
 
-	"dlrmperf/internal/graph"
 	"dlrmperf/internal/models"
 	"dlrmperf/internal/overhead"
 	"dlrmperf/internal/predict"
 	"dlrmperf/internal/scenario"
 	"dlrmperf/internal/workload"
-	"dlrmperf/internal/xrand"
 )
 
-// predictScenario computes one request cold: build the scenario's
-// execution graph(s) — which rejects unknown workloads and unplannable
-// shardings *before* any expensive calibration — then acquire the
-// device's assets and run the single-device or hybrid-parallel
-// prediction path.
+// predictScenario computes one request that missed the result cache.
+// The steady-state path resolves the request to a CompiledPlan —
+// memoized in the plans class under the request key — and executes it:
+// plan lookup + arithmetic, with zero graph reconstruction, zero shard
+// re-planning, and zero key formatting beyond one pooled-buffer
+// append. The DisableCompiledPlans ablation re-resolves everything per
+// request (the historical path the bit-identity tests compare
+// against); both paths end in identical predictor calls on identical
+// inputs, so their results are bit-identical.
 func (e *Engine) predictScenario(req Request) (cached, error) {
-	spec := req.Scenario
-	if spec.NumDevices() == 1 {
-		m, err := e.scenarioModel(spec)
-		if err != nil {
-			return cached{}, err
-		}
-		p, err := e.scenarioPredictor(req)
-		if err != nil {
-			return cached{}, err
-		}
-		pred, err := p.Predict(m.Graph)
-		if err != nil {
-			return cached{}, err
-		}
-		return cached{pred: pred}, nil
+	if e.opts.DisableCompiledPlans {
+		return e.predictUncompiled(req)
 	}
-	return e.predictMulti(req)
+	cs := e.store.class(classPlan)
+	kb := keyBufPool.Get().(*[]byte)
+	buf := append((*kb)[:0], "plan/"...)
+	buf = req.appendKey(buf)
+	if v, ok := cs.getBytes(buf); ok {
+		*kb = buf
+		keyBufPool.Put(kb)
+		cs.hits.Add(1)
+		return v.(*CompiledPlan).execute()
+	}
+	key := string(buf)
+	*kb = buf
+	keyBufPool.Put(kb)
+	pl, err := memo(e, classPlan, key, func() (*CompiledPlan, error) {
+		return e.compile(req)
+	})
+	if err != nil {
+		return cached{}, err
+	}
+	return pl.execute()
+}
+
+// predictUncompiled is the per-request resolution path: compile the
+// request from scratch (graphs still memoize in the graphs class, as
+// they always did) and execute the transient plan without storing it.
+func (e *Engine) predictUncompiled(req Request) (cached, error) {
+	pl, err := e.compile(req)
+	if err != nil {
+		return cached{}, err
+	}
+	return pl.execute()
 }
 
 // scenarioPredictor assembles the device's predictor for a request:
@@ -81,80 +100,4 @@ func specializeDLRM(cfg models.DLRMConfig, batch int64, tables []workload.TableS
 	cfg.Lookups = workload.MeanLookups(tables)
 	cfg.ZipfSkew = workload.MeanSkew(tables)
 	return cfg
-}
-
-// predictMulti prices a hybrid-parallel scenario: dense layers run
-// data-parallel at the per-device batch, the embedding tables are
-// sharded by the greedy planner, and collectives come from the spec's
-// alpha-beta comm model. CNN families degenerate to pure data
-// parallelism (identical per-device graphs, all-reduce only). Graphs
-// and the plan are built before the device's assets so malformed
-// scenarios never trigger a calibration.
-func (e *Engine) predictMulti(req Request) (cached, error) {
-	spec := req.Scenario
-	n := spec.NumDevices()
-	comm, err := predict.CommByName(spec.Comm)
-	if err != nil {
-		return cached{}, err
-	}
-	perDev := (spec.Batch + int64(n) - 1) / int64(n)
-
-	var graphs []*graph.Graph
-	var denseParams, embActBytes int64
-	var plan *scenario.Plan
-	cfg, cfgErr := models.DLRMConfigFor(spec.Workload, spec.Batch)
-	if cfgErr != nil {
-		// Not a DLRM family: pure data parallelism over one shared graph.
-		if len(spec.Tables) > 0 {
-			return cached{}, fmt.Errorf("scenario: custom tables need a DLRM family: %w", cfgErr)
-		}
-		m, err := e.Model(spec.Workload, perDev)
-		if err != nil {
-			return cached{}, err
-		}
-		graphs = make([]*graph.Graph, n)
-		for d := range graphs {
-			graphs[d] = m.Graph
-		}
-		denseParams = m.Params
-	} else {
-		tables := spec.Tables
-		if len(tables) == 0 {
-			tables = scenario.TablesOf(cfg)
-		}
-		pl, err := scenario.PlanShards(tables, cfg.EmbDim, n)
-		if err != nil {
-			return cached{}, err
-		}
-		plan = &pl
-		graphs = make([]*graph.Graph, n)
-		for d := 0; d < n; d++ {
-			shard := pl.TablesFor(d, tables)
-			// Key per-device graphs by shard *content*, so identical
-			// shards (every uniform-table scenario) build one graph.
-			key := fmt.Sprintf("graph/%s/b%d/%016x", spec.Workload, perDev,
-				xrand.HashString(scenario.TablesKey(shard)))
-			m, err := memo(e, classGraph, key, func() (*models.Model, error) {
-				return models.BuildDLRM(specializeDLRM(cfg, perDev, shard))
-			})
-			if err != nil {
-				return cached{}, err
-			}
-			graphs[d] = m.Graph
-		}
-		denseParams = cfg.DenseParams()
-		// All-to-all payload per device per direction: each device's
-		// share of the full (B/n, T, D) embedding activation tensor.
-		embActBytes = perDev * int64(len(tables)) * cfg.EmbDim * 4
-	}
-
-	p, err := e.scenarioPredictor(req)
-	if err != nil {
-		return cached{}, err
-	}
-	mp, err := p.PredictSharded(graphs, denseParams, embActBytes, comm)
-	if err != nil {
-		return cached{}, err
-	}
-	return cached{pred: mp.Prediction, multi: &mp, plan: plan}, nil
 }

@@ -104,19 +104,37 @@ func (n *Net) forward(x []float64, acts [][]float64) float64 {
 		nin := n.sizes[l]
 		nout := n.sizes[l+1]
 		src := acts[l]
+		relu := l < len(n.weights)-1
 		for o := 0; o < nout; o++ {
-			s := b[o]
-			row := w[o*nin : (o+1)*nin]
-			for i, v := range src {
-				s += row[i] * v
-			}
-			if l < len(n.weights)-1 && s < 0 {
+			s := dotAcc(b[o], w[o*nin:(o+1)*nin], src)
+			if relu && s < 0 {
 				s = 0 // ReLU on hidden layers
 			}
 			out[o] = s
 		}
 	}
 	return acts[len(acts)-1][0]
+}
+
+// dotAcc returns s plus the dot product of a and b, accumulating
+// strictly left to right into a single accumulator: the 4-way unroll
+// performs the exact addition sequence of the rolled loop, so results
+// stay bit-identical to the historical code while the loop drops most
+// of its bounds checks and branch overhead (this inner product is
+// where calibration training spends its time).
+func dotAcc(s float64, a, b []float64) float64 {
+	a = a[:len(b)] // hoist the bounds check out of the loop
+	i := 0
+	for ; i+3 < len(b); i += 4 {
+		s += a[i] * b[i]
+		s += a[i+1] * b[i+1]
+		s += a[i+2] * b[i+2]
+		s += a[i+3] * b[i+3]
+	}
+	for ; i < len(b); i++ {
+		s += a[i] * b[i]
+	}
+	return s
 }
 
 // Predict returns the network output for one input vector.
@@ -153,12 +171,8 @@ func (n *Net) newGrads() *grads {
 
 func (g *grads) zero() {
 	for l := range g.w {
-		for i := range g.w[l] {
-			g.w[l][i] = 0
-		}
-		for i := range g.b[l] {
-			g.b[l][i] = 0
-		}
+		clear(g.w[l])
+		clear(g.b[l])
 	}
 }
 
@@ -177,14 +191,29 @@ func (n *Net) backward(y float64, acts [][]float64, g *grads, deltas [][]float64
 		w := n.weights[l]
 		d := deltas[l]
 		dn := deltas[l+1]
+		a := acts[l]
 		for i := 0; i < nin; i++ {
-			if acts[l][i] <= 0 { // ReLU derivative
+			if a[i] <= 0 { // ReLU derivative
 				d[i] = 0
 				continue
 			}
+			// Column i of the (nout x nin) weight matrix, walked with an
+			// incremented index instead of o*nin+i multiplies; the 4-way
+			// unroll keeps the single left-to-right accumulator, so the
+			// sum is bit-identical to the rolled loop.
 			s := 0.0
-			for o := 0; o < nout; o++ {
-				s += w[o*nin+i] * dn[o]
+			j := i
+			o := 0
+			for ; o+3 < nout; o += 4 {
+				s += w[j] * dn[o]
+				s += w[j+nin] * dn[o+1]
+				s += w[j+2*nin] * dn[o+2]
+				s += w[j+3*nin] * dn[o+3]
+				j += 4 * nin
+			}
+			for ; o < nout; o++ {
+				s += w[j] * dn[o]
+				j += nin
 			}
 			d[i] = s
 		}
@@ -201,12 +230,28 @@ func (n *Net) backward(y float64, acts [][]float64, g *grads, deltas [][]float64
 			if d == 0 {
 				continue
 			}
-			row := gw[o*nin : (o+1)*nin]
-			for i, v := range src {
-				row[i] += d * v
-			}
+			axpy(d, src, gw[o*nin:(o+1)*nin])
 			gb[o] += d
 		}
 	}
 	return diff * diff
+}
+
+// axpy accumulates y[i] += alpha*x[i]. Each element updates
+// independently — no cross-element accumulation — so the unroll cannot
+// reassociate anything; it only removes bounds checks and loop
+// overhead from the gradient accumulation, the second-hottest
+// calibration loop.
+func axpy(alpha float64, x, y []float64) {
+	x = x[:len(y)] // hoist the bounds check out of the loop
+	i := 0
+	for ; i+3 < len(y); i += 4 {
+		y[i] += alpha * x[i]
+		y[i+1] += alpha * x[i+1]
+		y[i+2] += alpha * x[i+2]
+		y[i+3] += alpha * x[i+3]
+	}
+	for ; i < len(y); i++ {
+		y[i] += alpha * x[i]
+	}
 }

@@ -102,9 +102,13 @@ func Train(X [][]float64, Y []float64, cfg Config, seed uint64) *Net {
 			}
 			scale := 1 / float64(end-start)
 			step++
+			// The Adam bias corrections depend only on the step, so they
+			// are computed once here instead of twice per layer.
+			bc1 := 1 - math.Pow(beta1, float64(step))
+			bc2 := 1 - math.Pow(beta2, float64(step))
 			for l := range n.weights {
-				applyUpdate(n.weights[l], g.w[l], scale, lr, cfg.Optimizer, mW, vW, l, step, beta1, beta2, eps)
-				applyUpdate(n.biases[l], g.b[l], scale, lr, cfg.Optimizer, mB, vB, l, step, beta1, beta2, eps)
+				applyUpdate(n.weights[l], g.w[l], scale, lr, cfg.Optimizer, mW, vW, l, bc1, bc2, beta1, beta2, eps)
+				applyUpdate(n.biases[l], g.b[l], scale, lr, cfg.Optimizer, mB, vB, l, bc1, bc2, beta1, beta2, eps)
 			}
 		}
 	}
@@ -112,16 +116,16 @@ func Train(X [][]float64, Y []float64, cfg Config, seed uint64) *Net {
 }
 
 func applyUpdate(params, grad []float64, scale, lr float64, opt string,
-	m, v [][]float64, l, step int, beta1, beta2, eps float64) {
+	m, v [][]float64, l int, bc1, bc2, beta1, beta2, eps float64) {
 	if opt != Adam {
+		grad = grad[:len(params)]
 		for i := range params {
 			params[i] -= lr * grad[i] * scale
 		}
 		return
 	}
-	bc1 := 1 - math.Pow(beta1, float64(step))
-	bc2 := 1 - math.Pow(beta2, float64(step))
-	ml, vl := m[l], v[l]
+	ml, vl := m[l][:len(params)], v[l][:len(params)]
+	grad = grad[:len(params)]
 	for i := range params {
 		gi := grad[i] * scale
 		ml[i] = beta1*ml[i] + (1-beta1)*gi

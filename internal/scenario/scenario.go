@@ -15,6 +15,7 @@ package scenario
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -104,36 +105,73 @@ func (s Spec) Validate() error {
 // Two specs with equal Canonical strings predict identically; Name is
 // deliberately excluded.
 func (s Spec) Canonical() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "w=%s;b=%d;n=%d", s.Workload, s.Batch, s.NumDevices())
+	return string(s.AppendCanonical(nil))
+}
+
+// AppendCanonical appends the canonical encoding to b and returns the
+// extended slice — the allocation-free form of Canonical for hot
+// cache-key builders. The encoding is pinned: it keys every memoized
+// graph and result, so changing a byte invalidates warm-started caches.
+func (s *Spec) AppendCanonical(b []byte) []byte {
+	b = append(b, "w="...)
+	b = append(b, s.Workload...)
+	b = append(b, ";b="...)
+	b = strconv.AppendInt(b, s.Batch, 10)
+	b = append(b, ";n="...)
+	b = strconv.AppendInt(b, int64(s.NumDevices()), 10)
 	if s.NumDevices() > 1 {
 		// Comm names are case-insensitive; normalize so "NVLink" and
 		// "nvlink" share one identity.
-		comm := strings.ToLower(s.Comm)
-		if comm == "" {
-			comm = CommNVLink
+		b = append(b, ";comm="...)
+		if s.Comm == "" {
+			b = append(b, CommNVLink...)
+		} else {
+			b = appendLowerASCII(b, s.Comm)
 		}
-		fmt.Fprintf(&b, ";comm=%s", comm)
 	}
 	if len(s.Tables) > 0 {
-		b.WriteString(";tables=")
-		b.WriteString(TablesKey(s.Tables))
+		b = append(b, ";tables="...)
+		b = AppendTablesKey(b, s.Tables)
 	}
-	return b.String()
+	return b
+}
+
+// appendLowerASCII lower-cases s byte-wise while appending. Comm names
+// are ASCII by construction (predict.CommByName's switch), so this
+// matches strings.ToLower on every accepted input.
+func appendLowerASCII(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		b = append(b, c)
+	}
+	return b
 }
 
 // TablesKey renders a table population canonically — the identity
 // under which equal populations (and equal per-device shards) share
 // fingerprints and memoized graphs.
 func TablesKey(tables []workload.TableSpec) string {
-	var b strings.Builder
+	return string(AppendTablesKey(nil, tables))
+}
+
+// AppendTablesKey is the allocation-free form of TablesKey. The skew
+// renders with strconv's shortest 'g' formatting, byte-identical to the
+// fmt %g verb the key historically used.
+func AppendTablesKey(b []byte, tables []workload.TableSpec) []byte {
 	for i, t := range tables {
 		if i > 0 {
-			b.WriteByte(',')
+			b = append(b, ',')
 		}
-		fmt.Fprintf(&b, "%d:%d:%g", t.Rows, t.Lookups, t.Skew)
+		b = strconv.AppendInt(b, t.Rows, 10)
+		b = append(b, ':')
+		b = strconv.AppendInt(b, int64(t.Lookups), 10)
+		b = append(b, ':')
+		b = strconv.AppendFloat(b, t.Skew, 'g', -1, 64)
 	}
-	return b.String()
+	return b
 }
 
 // TablesOf expands a DLRM family configuration into its table
@@ -150,8 +188,24 @@ func TablesOf(cfg models.DLRMConfig) []workload.TableSpec {
 // Fingerprint is the deterministic cache identity of the spec: a
 // human-scannable prefix plus a hash of the canonical encoding.
 func (s Spec) Fingerprint() string {
-	return fmt.Sprintf("%s-b%d-n%d-%016x",
-		s.Workload, s.Batch, s.NumDevices(), xrand.HashString(s.Canonical()))
+	return string(s.AppendFingerprint(nil))
+}
+
+// AppendFingerprint appends the fingerprint to b and returns the
+// extended slice. The canonical encoding is hashed in place through
+// b's spare capacity, so a caller reusing a scratch buffer fingerprints
+// with zero allocations.
+func (s *Spec) AppendFingerprint(b []byte) []byte {
+	b = append(b, s.Workload...)
+	b = append(b, "-b"...)
+	b = strconv.AppendInt(b, s.Batch, 10)
+	b = append(b, "-n"...)
+	b = strconv.AppendInt(b, int64(s.NumDevices()), 10)
+	b = append(b, '-')
+	mark := len(b)
+	b = s.AppendCanonical(b)
+	h := xrand.HashBytes(b[mark:])
+	return xrand.AppendHex16(b[:mark], h)
 }
 
 // Generator builds Specs for one registered scenario name.

@@ -100,11 +100,26 @@ var ErrQueueFull = errors.New("serve: admission queue full")
 // behind HTTP 503 during shutdown.
 var ErrDraining = errors.New("serve: server draining")
 
-// job is one admitted request traveling the queue.
+// job is one admitted request traveling the queue. Jobs are pooled:
+// admit owns a job until it has either received the result (enqueued
+// path) or failed before the queue send (never seen by any worker), so
+// returning it to the pool at those points can never race a worker.
+// The done channel is buffered and drained before reuse.
 type job struct {
 	ctx  context.Context
 	req  Request
 	done chan Result
+}
+
+var jobPool = sync.Pool{
+	New: func() any { return &job{done: make(chan Result, 1)} },
+}
+
+// putJob clears a job's per-request state and returns it to the pool.
+func putJob(j *job) {
+	j.ctx = nil
+	j.req = Request{}
+	jobPool.Put(j)
 }
 
 // Server owns the admission queue and worker pool over one Backend.
@@ -208,11 +223,13 @@ func (s *Server) admit(ctx context.Context, req Request, wait bool) (Result, err
 	}
 	ctx, cancel := s.requestContext(ctx, req)
 	defer cancel()
-	j := &job{ctx: ctx, req: req, done: make(chan Result, 1)}
+	j := jobPool.Get().(*job)
+	j.ctx, j.req = ctx, req
 	if wait {
 		select {
 		case s.queue <- j:
 		case <-ctx.Done():
+			putJob(j) // never enqueued: no worker can hold it
 			s.jobs.Done()
 			s.canceledAdmits.Add(1)
 			return Result{}, ctx.Err()
@@ -221,6 +238,7 @@ func (s *Server) admit(ctx context.Context, req Request, wait bool) (Result, err
 		select {
 		case s.queue <- j:
 		default:
+			putJob(j) // never enqueued: no worker can hold it
 			s.jobs.Done()
 			s.queueFullRejects.Add(1)
 			return Result{}, ErrQueueFull
@@ -231,7 +249,10 @@ func (s *Server) admit(ctx context.Context, req Request, wait bool) (Result, err
 	// and workers drain every queued job before Drain stops them), and
 	// the job's context carries the deadline from admission, so this
 	// wait is bounded by the request's own deadline even while queued.
+	// After the receive the worker is done with the job (it sends as its
+	// last touch), so it can be recycled.
 	res := <-j.done
+	putJob(j)
 	s.jobs.Done()
 	return res, nil
 }
@@ -337,9 +358,15 @@ func (s *Server) Stats() Stats {
 	// ...the request total last (source).
 	requests := s.received.Load()
 
-	cals := map[string]int{}
+	// Allocated only when a device actually calibrated: the snapshot is
+	// polled, and a nil map marshals identically to an empty one under
+	// omitempty.
+	var cals map[string]int
 	for _, d := range b.Devices() {
 		if n := b.CalibrationRuns(d); n > 0 {
+			if cals == nil {
+				cals = make(map[string]int, 4)
+			}
 			cals[d] = n
 		}
 	}

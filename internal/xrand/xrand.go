@@ -44,6 +44,30 @@ func HashString(s string) uint64 {
 	return h
 }
 
+// HashBytes is HashString over a byte slice: the same FNV-1a fold, so
+// HashBytes(b) == HashString(string(b)) without the conversion
+// allocation. Hot cache-key builders hash scratch buffers through it.
+func HashBytes(b []byte) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(b); i++ {
+		h = (h ^ uint64(b[i])) * 1099511628211
+	}
+	return h
+}
+
+// AppendHex16 appends v as 16 zero-padded lowercase hex digits — the
+// %016x rendering cache keys embed hashes with, shared here so every
+// key builder renders hashes identically.
+func AppendHex16(b []byte, v uint64) []byte {
+	const digits = "0123456789abcdef"
+	var t [16]byte
+	for i := 15; i >= 0; i-- {
+		t[i] = digits[v&0xf]
+		v >>= 4
+	}
+	return append(b, t[:]...)
+}
+
 // Uint64 returns the next 64 random bits.
 func (r *Rand) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15
