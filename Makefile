@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt bench bench-assets bench-check bench-baseline bench-ratchet serve-demo serve-http cluster-e2e cover check
+.PHONY: build test race vet fmt bench bench-assets bench-check bench-baseline bench-ratchet serve-demo serve-http explore-demo cluster-e2e cover check
 
 build:
 	$(GO) build ./...
@@ -32,8 +32,8 @@ bench-assets:
 # the same steps): measure the tracked hot paths, parse them into
 # BENCH_pr.json, and compare against the checked-in baseline — failing
 # on >25% ns/op or >10% allocs/op regressions.
-BENCH_PATTERN = PredictBatchCached$$|PredictSingleCached$$|CalibrateParallel$$|CompilePlan$$
-BENCH_PKGS = . ./internal/engine
+BENCH_PATTERN = PredictBatchCached$$|PredictSingleCached$$|CalibrateParallel$$|CompilePlan$$|ExploreWarm$$|ExploreCold$$
+BENCH_PKGS = . ./internal/engine ./internal/explore
 bench-check:
 	$(GO) test -run xxx -bench '$(BENCH_PATTERN)' -benchmem -count 5 $(BENCH_PKGS) | tee BENCH_pr.txt
 	$(GO) run ./cmd/benchdiff -parse -in BENCH_pr.txt -o BENCH_pr.json
@@ -64,6 +64,14 @@ serve-demo:
 # calibration, for interactive poking (curl examples in the README).
 serve-http:
 	$(GO) run ./cmd/dlrmperf-serve -listen :8080 -fast-calib
+
+# explore-demo sweeps the checked-in design-space grid twice through
+# one low-fidelity engine and self-asserts the headline claim: the
+# warm repeat is served from the result cache at a >= 90% hit rate
+# (the CI explore smoke runs this exact target).
+explore-demo:
+	$(GO) run ./cmd/dlrmperf-explore -grid internal/explore/testdata/grid.json \
+		-fast-calib -repeat 2 -min-warm-hit-rate 0.9 -o /dev/null
 
 # cluster-e2e runs the cross-process sharded-serving suite under the
 # race detector: 1 coordinator + 2 self-registering workers, device-

@@ -293,29 +293,45 @@ func (e *Engine) AssetStats() AssetStats { return e.eng.AssetStats() }
 // CachedResults reports the resident prediction result cache entries.
 func (e *Engine) CachedResults() int { return e.eng.CachedResults() }
 
-// toEngine resolves the public request into an engine request: named
-// scenarios go through the registry; plain workload requests become
-// single-device (or width-overridden) ad-hoc scenarios. The resolved
-// spec is deliberately NOT validated here: engine.Predict validates
-// first thing (before any asset work) and tallies failures in
-// RejectedRequests, so validating twice would keep rejects out of the
-// engine's counters and break hits+misses+rejected == dispatched.
-func toEngine(req PredictRequest) (engine.Request, error) {
+// ResolveSpec resolves the request into the exact scenario spec the
+// engine would execute: named scenarios go through the registry with
+// batch/width defaults applied, plain workload requests become
+// single-device (or width-overridden) ad-hoc scenarios, and the
+// request's Comm override is applied last. Two requests whose resolved
+// specs share a fingerprint (on the same device, with the same
+// SharedOverheads) predict identically — this is the identity the
+// explore layer deduplicates grid points by before any prediction
+// runs. The spec is deliberately NOT validated here: engine.Predict
+// validates first thing (before any asset work) and tallies failures
+// in RejectedRequests, so validating twice would keep rejects out of
+// the engine's counters and break hits+misses+rejected == dispatched.
+// Callers that want to reject invalid points without dispatching
+// (explore does) run Validate on the returned spec themselves.
+func (r PredictRequest) ResolveSpec() (scenario.Spec, error) {
 	var spec scenario.Spec
-	if req.Scenario != "" {
-		s, err := scenario.Build(req.Scenario, req.Batch, req.GPUs)
+	if r.Scenario != "" {
+		s, err := scenario.Build(r.Scenario, r.Batch, r.GPUs)
 		if err != nil {
-			return engine.Request{}, err
+			return scenario.Spec{}, err
 		}
 		spec = s
 	} else {
-		spec = scenario.Single(req.Workload, req.Batch)
-		if req.GPUs > 0 {
-			spec.Devices = req.GPUs
+		spec = scenario.Single(r.Workload, r.Batch)
+		if r.GPUs > 0 {
+			spec.Devices = r.GPUs
 		}
 	}
-	if req.Comm != "" {
-		spec.Comm = req.Comm
+	if r.Comm != "" {
+		spec.Comm = r.Comm
+	}
+	return spec, nil
+}
+
+// toEngine resolves the public request into an engine request.
+func toEngine(req PredictRequest) (engine.Request, error) {
+	spec, err := req.ResolveSpec()
+	if err != nil {
+		return engine.Request{}, err
 	}
 	return engine.Request{Device: req.Device, Scenario: spec, Shared: req.SharedOverheads}, nil
 }

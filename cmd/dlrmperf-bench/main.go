@@ -139,11 +139,7 @@ func assetstore(seed uint64, requests int) {
 	}
 	// The Zipf stream is fixed across capacities so the sweep isolates
 	// the cap: same accesses, different eviction pressure.
-	zipf := xrand.NewZipf(xrand.New(seed), len(set), 1.1)
-	stream := make([]int, requests)
-	for i := range stream {
-		stream[i] = zipf.Next()
-	}
+	stream := xrand.ZipfStream(xrand.New(seed), len(set), 1.1, requests)
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "capacity\trequests\thits\tmisses\tevictions\thit-rate\tresident\tbytes\n")

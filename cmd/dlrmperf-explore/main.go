@@ -1,0 +1,233 @@
+// Command dlrmperf-explore sweeps a design-space grid through one
+// in-process prediction engine: a JSON grid spec in (workload family ×
+// device × GPU count × comm model × batch size per-axis value lists),
+// a JSON sweep report out (coverage accounting, Pareto frontier,
+// best-strategy-per-workload, sweep throughput), plus a human summary
+// table on stderr.
+//
+//	dlrmperf-explore -grid internal/explore/testdata/grid.json -fast-calib
+//
+// -repeat N sweeps the same grid N times against one engine — the
+// first pass pays the calibrations and predictions, every later pass
+// is served from the result cache — and -min-warm-hit-rate turns the
+// "repeat explorations are nearly free" claim into an exit code: the
+// run fails unless the final pass's cache hit rate reaches the
+// threshold. That pair is the self-asserting CI smoke (`make
+// explore-demo`).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"dlrmperf"
+	"dlrmperf/internal/explore"
+)
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dlrmperf-explore:", err)
+	os.Exit(1)
+}
+
+// cliReport is the command's JSON output: the final pass's full report
+// plus a coverage/throughput line per pass.
+type cliReport struct {
+	Passes []passSummary   `json:"passes"`
+	Report *explore.Report `json:"report"`
+}
+
+// passSummary is one sweep pass's headline numbers.
+type passSummary struct {
+	Pass          int     `json:"pass"`
+	GridPoints    int     `json:"grid_points"`
+	Unique        int     `json:"unique"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+	ElapsedMs     float64 `json:"elapsed_ms"`
+	ConfigsPerSec float64 `json:"configs_per_sec"`
+}
+
+type options struct {
+	grid           string
+	out            string
+	seed           uint64
+	workers        int
+	fastCalib      bool
+	assets         []string
+	repeat         int
+	minWarmHitRate float64
+}
+
+func main() {
+	gridPath := flag.String("grid", "-", "grid JSON path (- for stdin)")
+	out := flag.String("o", "-", "report JSON path (- for stdout)")
+	seed := flag.Uint64("seed", 2022, "engine seed")
+	workers := flag.Int("workers", 0, "engine worker pool size (0 = GOMAXPROCS)")
+	fastCalib := flag.Bool("fast-calib", false, "low-fidelity calibration (eighth-size sweeps, tiny networks) for smoke tests and CI")
+	assets := flag.String("assets", "", "comma-separated warm-start asset files from dlrmperf-serve -save-assets / dlrmperf-bench -save")
+	repeat := flag.Int("repeat", 1, "sweep the grid this many times against one engine (pass 2+ measures the warm path)")
+	minWarm := flag.Float64("min-warm-hit-rate", 0, "with -repeat > 1, fail unless the final pass's cache hit rate reaches this fraction")
+	flag.Parse()
+
+	opts := options{
+		grid: *gridPath, out: *out, seed: *seed, workers: *workers,
+		fastCalib: *fastCalib, repeat: *repeat, minWarmHitRate: *minWarm,
+	}
+	for _, p := range splitCSV(*assets) {
+		opts.assets = append(opts.assets, p)
+	}
+	rep, err := run(opts, os.Stderr)
+	if err != nil {
+		fail(err)
+	}
+	if err := writeReport(opts.out, rep); err != nil {
+		fail(err)
+	}
+	last := rep.Passes[len(rep.Passes)-1]
+	if opts.repeat > 1 && last.CacheHitRate < opts.minWarmHitRate {
+		fail(fmt.Errorf("warm pass cache hit rate %.3f below the -min-warm-hit-rate floor %.3f",
+			last.CacheHitRate, opts.minWarmHitRate))
+	}
+}
+
+// run executes the sweep passes and renders the human summary to w.
+func run(opts options, w io.Writer) (*cliReport, error) {
+	g, err := readGrid(opts.grid)
+	if err != nil {
+		return nil, err
+	}
+	if opts.repeat < 1 {
+		opts.repeat = 1
+	}
+	cfg := dlrmperf.EngineConfig{Seed: opts.seed, Workers: opts.workers}
+	if opts.fastCalib {
+		cfg = dlrmperf.FastCalibConfig(opts.seed, opts.workers)
+	}
+	eng, err := dlrmperf.NewEngineWith(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, path := range opts.assets {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		if err := eng.LoadAssets(data); err != nil {
+			return nil, fmt.Errorf("loading %s: %w", path, err)
+		}
+	}
+
+	out := &cliReport{}
+	for pass := 1; pass <= opts.repeat; pass++ {
+		rep, err := explore.Sweep(context.Background(), eng, g)
+		if err != nil {
+			return nil, err
+		}
+		out.Report = rep
+		out.Passes = append(out.Passes, passSummary{
+			Pass: pass, GridPoints: rep.GridPoints, Unique: rep.Unique,
+			CacheHitRate: rep.CacheHitRate, ElapsedMs: rep.ElapsedMs,
+			ConfigsPerSec: rep.ConfigsPerSec,
+		})
+	}
+	renderSummary(w, out)
+	return out, nil
+}
+
+func readGrid(path string) (explore.Grid, error) {
+	var g explore.Grid
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return g, err
+	}
+	if err := json.Unmarshal(data, &g); err != nil {
+		return g, fmt.Errorf("parsing grid %s: %w", path, err)
+	}
+	return g, nil
+}
+
+func writeReport(path string, rep *cliReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func splitCSV(csv string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(csv); i++ {
+		if i == len(csv) || csv[i] == ',' {
+			if p := csv[start:i]; p != "" {
+				out = append(out, p)
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+// renderSummary prints the human-facing tables: per-pass coverage and
+// throughput, the Pareto frontier, and the best strategy per workload.
+func renderSummary(w io.Writer, rep *cliReport) {
+	r := rep.Report
+	for _, p := range rep.Passes {
+		fmt.Fprintf(w, "pass %d: %d grid points (%d unique), cache hit rate %.1f%%, %.0f configs/sec, %.2f ms\n",
+			p.Pass, p.GridPoints, p.Unique, 100*p.CacheHitRate, p.ConfigsPerSec, p.ElapsedMs)
+	}
+	fmt.Fprintf(w, "coverage: %d unique + %d duplicates + %d rejected = %d grid points; %d predicted, %d failed\n",
+		r.Unique, r.Duplicates, r.Rejected, r.GridPoints, r.Predicted, r.Failed)
+
+	fmt.Fprintf(w, "\npareto frontier (predicted step time vs devices):\n")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "devices\tscenario\tdevice\tcomm\tbatch\te2e(us)\tsamples/s\n")
+	for _, row := range r.Frontier {
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t%d\t%.1f\t%.0f\n",
+			row.Devices, row.Scenario, row.Device, commName(row), row.Batch, row.E2EUs, row.SamplesPerSec)
+	}
+	tw.Flush()
+
+	fmt.Fprintf(w, "\nbest strategy per workload:\n")
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "workload\tscenario\tdevice\tdevices\tcomm\tbatch\te2e(us)\tsamples/s\n")
+	workloads := make([]string, 0, len(r.Best))
+	for name := range r.Best {
+		workloads = append(workloads, name)
+	}
+	sort.Strings(workloads)
+	for _, name := range workloads {
+		row := r.Best[name]
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%s\t%d\t%.1f\t%.0f\n",
+			name, row.Scenario, row.Device, row.Devices, commName(row), row.Batch, row.E2EUs, row.SamplesPerSec)
+	}
+	tw.Flush()
+}
+
+// commName renders the effective comm model: none on single-device
+// rows, the NVLink default on multi-device rows that left it unset.
+func commName(r explore.Row) string {
+	if r.Devices <= 1 {
+		return "-"
+	}
+	if r.Comm == "" {
+		return "nvlink"
+	}
+	return r.Comm
+}

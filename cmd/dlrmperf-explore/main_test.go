@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunDemoGrid drives the full CLI path (grid file → fast-calib
+// engine → two sweep passes → summary render) on the checked-in
+// fixture and pins the acceptance numbers: exact 16/8/4/4 coverage and
+// a 100% warm-pass hit rate.
+func TestRunDemoGrid(t *testing.T) {
+	var summary bytes.Buffer
+	rep, err := run(options{
+		grid:      "../../internal/explore/testdata/grid.json",
+		seed:      2022,
+		fastCalib: true,
+		repeat:    2,
+	}, &summary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Passes) != 2 {
+		t.Fatalf("passes = %d, want 2", len(rep.Passes))
+	}
+	r := rep.Report
+	if r.GridPoints != 16 || r.Unique != 8 || r.Duplicates != 4 || r.Rejected != 4 {
+		t.Fatalf("coverage = %d/%d/%d/%d, want 16/8/4/4",
+			r.GridPoints, r.Unique, r.Duplicates, r.Rejected)
+	}
+	if r.Failed != 0 {
+		t.Fatalf("failed predictions: %+v", r.FailedSamples)
+	}
+	if cold := rep.Passes[0]; cold.CacheHitRate != 0 {
+		t.Errorf("cold pass hit rate = %v, want 0", cold.CacheHitRate)
+	}
+	if warm := rep.Passes[1]; warm.CacheHitRate != 1 {
+		t.Errorf("warm pass hit rate = %v, want 1", warm.CacheHitRate)
+	}
+	if len(r.Frontier) == 0 || len(r.Best) == 0 {
+		t.Errorf("report missing frontier or best table")
+	}
+	for _, want := range []string{"pass 1:", "pass 2:", "pareto frontier", "best strategy per workload"} {
+		if !strings.Contains(summary.String(), want) {
+			t.Errorf("summary missing %q:\n%s", want, summary.String())
+		}
+	}
+}
+
+// TestRunBadGrid: unreadable and structurally empty grids surface as
+// errors before any engine work.
+func TestRunBadGrid(t *testing.T) {
+	if _, err := run(options{grid: "no/such/grid.json"}, &bytes.Buffer{}); err == nil {
+		t.Error("missing grid file did not error")
+	}
+}
+
+// TestSplitCSV pins the flag helper's edge cases.
+func TestSplitCSV(t *testing.T) {
+	if got := splitCSV(""); len(got) != 0 {
+		t.Errorf("splitCSV(\"\") = %v", got)
+	}
+	got := splitCSV("a,,b,")
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("splitCSV(\"a,,b,\") = %v", got)
+	}
+}

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"dlrmperf/internal/cluster"
+	"dlrmperf/internal/explore"
+)
+
+// TestE2EExploreCluster is the cross-process design-space-exploration
+// end-to-end: 1 coordinator + 2 self-registering fast-calib workers,
+// the same grid POSTed to the coordinator's /v1/explore twice. The
+// cold pass fans the unique configurations across the cluster with
+// device-affine routing (each device calibrated on exactly one
+// worker); the warm pass is served from caches at a hit rate ≥ 0.9;
+// the aggregated /stats invariant holds throughout.
+func TestE2EExploreCluster(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("process harness assumes unix signals")
+	}
+	bin := filepath.Join(t.TempDir(), "dlrmperf-serve")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building binary: %v\n%s", err, out)
+	}
+
+	coord := startServeProc(t, "coordinator", bin,
+		"-coordinator", "-listen", "127.0.0.1:0", "-liveness", "3s")
+	startServeProc(t, "worker1", bin,
+		"-listen", "127.0.0.1:0", "-fast-calib",
+		"-register", coord.base(), "-heartbeat", "200ms")
+	startServeProc(t, "worker2", bin,
+		"-listen", "127.0.0.1:0", "-fast-calib",
+		"-register", coord.base(), "-heartbeat", "200ms")
+
+	client := &http.Client{Timeout: 5 * time.Minute}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := client.Get(coord.base() + "/healthz")
+		var health struct {
+			Workers int `json:"workers"`
+		}
+		if err == nil {
+			ok := resp.StatusCode == http.StatusOK &&
+				json.NewDecoder(resp.Body).Decode(&health) == nil && health.Workers == 2
+			resp.Body.Close()
+			if ok {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("workers never registered; coordinator tail:\n%s", coord.tail())
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	grid := []byte(`{
+		"scenarios": ["dlrm-default", "dlrm-ddp"],
+		"devices": ["V100", "P100"],
+		"gpus": [1, 2],
+		"batches": [512]
+	}`)
+	sweep := func(pass string) *explore.Report {
+		t.Helper()
+		resp, err := client.Post(coord.base()+"/v1/explore", "application/json", bytes.NewReader(grid))
+		if err != nil {
+			t.Fatalf("%s sweep: %v\ncoordinator tail:\n%s", pass, err, coord.tail())
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s sweep = %d: %s\ncoordinator tail:\n%s", pass, resp.StatusCode, data, coord.tail())
+		}
+		var rep explore.Report
+		if err := json.Unmarshal(data, &rep); err != nil {
+			t.Fatalf("parsing %s sweep report %q: %v", pass, data, err)
+		}
+		if rep.GridPoints != 8 || rep.Unique != 8 || rep.Failed != 0 {
+			t.Fatalf("%s sweep coverage = %d points / %d unique / %d failed, want 8/8/0: %+v",
+				pass, rep.GridPoints, rep.Unique, rep.Failed, rep.FailedSamples)
+		}
+		return &rep
+	}
+
+	cold := sweep("cold")
+	if len(cold.Frontier) == 0 || len(cold.Best) == 0 {
+		t.Fatalf("cold sweep missing frontier or best table")
+	}
+
+	// Device-affine fan-out: each device's configurations landed on —
+	// and calibrated — exactly one worker.
+	var st cluster.Stats
+	resp, err := client.Get(coord.base() + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := map[string]string{}
+	for workerID, devs := range st.Calibrations {
+		for dev, runs := range devs {
+			if prev, dup := owner[dev]; dup {
+				t.Fatalf("device %s calibrated on both %s and %s", dev, prev, workerID)
+			}
+			owner[dev] = workerID
+			if runs != 1 {
+				t.Fatalf("device %s calibrated %d times on %s, want 1", dev, runs, workerID)
+			}
+		}
+	}
+	for _, dev := range []string{"V100", "P100"} {
+		if owner[dev] == "" {
+			t.Fatalf("device %s calibrated nowhere", dev)
+		}
+	}
+	if got := st.Accounted(); got != st.Requests {
+		t.Fatalf("cluster invariant broken after cold sweep: accounted %d, requests %d", got, st.Requests)
+	}
+
+	warm := sweep("warm")
+	if warm.CacheHitRate < 0.9 {
+		t.Fatalf("warm sweep hit rate = %v, want >= 0.9", warm.CacheHitRate)
+	}
+	resp, err = client.Get(coord.base() + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Accounted(); got != st.Requests {
+		t.Fatalf("cluster invariant broken after warm sweep: accounted %d, requests %d", got, st.Requests)
+	}
+	t.Logf("explore e2e: cold %.0f configs/sec, warm %.0f configs/sec at hit rate %.2f",
+		cold.ConfigsPerSec, warm.ConfigsPerSec, warm.CacheHitRate)
+}

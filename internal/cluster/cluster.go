@@ -8,9 +8,9 @@
 // next-ranked candidate before surfacing 502.
 //
 // The coordinator re-exports the worker HTTP surface unchanged
-// (POST /v1/predict, POST /v1/predict/batch, GET /v1/scenarios,
-// GET /healthz, GET /stats) plus POST /v1/workers/register for
-// self-registration, and its /stats merges the per-worker
+// (POST /v1/predict, POST /v1/predict/batch, POST /v1/explore,
+// GET /v1/scenarios, GET /healthz, GET /stats) plus
+// POST /v1/workers/register for self-registration, and its /stats merges the per-worker
 // cache/asset/stream counters into one attempt-accounted document
 // whose invariant — hits + misses + rejected == requests — holds
 // cluster-wide (see stats.go for the accounting model). A
@@ -60,10 +60,12 @@ type Config struct {
 	// RetryAfter is the backpressure hint on coordinator 503s. Default 1s.
 	RetryAfter time.Duration
 	// MaxBodyBytes bounds request bodies (default 16 MiB), MaxBatch the
-	// rows of one batch POST (default 4096) — the same admission
-	// hygiene as the worker surface.
+	// rows of one batch POST (default 4096), MaxGrid the expanded size
+	// of one explore POST (default 262144) — the same admission hygiene
+	// as the worker surface.
 	MaxBodyBytes int64
 	MaxBatch     int
+	MaxGrid      int
 	// Fanout bounds concurrently routed batch rows (default 16).
 	Fanout int
 	// StatsTimeout bounds each worker's /stats fetch during
@@ -85,6 +87,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 4096
+	}
+	if c.MaxGrid <= 0 {
+		c.MaxGrid = 1 << 18
 	}
 	if c.Fanout <= 0 {
 		c.Fanout = 16
@@ -543,6 +548,7 @@ func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/predict", c.handlePredict)
 	mux.HandleFunc("POST /v1/predict/batch", c.handleBatch)
+	mux.HandleFunc("POST /v1/explore", c.handleExplore)
 	mux.HandleFunc("POST /v1/workers/register", c.handleRegister)
 	mux.HandleFunc("GET /v1/scenarios", func(w http.ResponseWriter, _ *http.Request) {
 		serve.WriteJSON(w, http.StatusOK, dlrmperf.Scenarios())

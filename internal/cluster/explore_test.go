@@ -1,0 +1,189 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"dlrmperf"
+	"dlrmperf/internal/explore"
+	"dlrmperf/internal/serve"
+)
+
+// clusterGrid is the coordinator sweep fixture: one workload over two
+// devices at two widths, 4 unique configurations with no duplicates or
+// rejections, so routing assertions are exact.
+func clusterGrid() explore.Grid {
+	return explore.Grid{
+		Scenarios: []string{"dlrm-default"},
+		Devices:   []string{"V100", "P100"},
+		GPUs:      []int{1, 2},
+		Batches:   []int64{512},
+	}
+}
+
+// TestClusterExploreDeviceAffinity: a coordinator sweep routes each
+// device's configurations to exactly one worker (rendezvous routing +
+// device-major expansion), so pinned calibrations and compiled plans
+// are reused instead of duplicated across the cluster.
+func TestClusterExploreDeviceAffinity(t *testing.T) {
+	coord, workers := newTestCluster(t, 2, nil)
+	rep, err := coord.RunExplore(context.Background(), clusterGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GridPoints != 4 || rep.Unique != 4 || rep.Rejected != 0 || rep.Failed != 0 {
+		t.Fatalf("coverage = %d points / %d unique / %d rejected / %d failed, want 4/4/0/0: %+v",
+			rep.GridPoints, rep.Unique, rep.Rejected, rep.Failed, rep.FailedSamples)
+	}
+	for _, dev := range []string{"V100", "P100"} {
+		owners := 0
+		for _, fw := range workers {
+			fw.mu.Lock()
+			_, has := fw.calibrated[dev]
+			fw.mu.Unlock()
+			if has {
+				owners++
+			}
+		}
+		if owners != 1 {
+			t.Errorf("device %s calibrated on %d workers, want exactly 1", dev, owners)
+		}
+	}
+	assertAggInvariant(t, coord.Stats(context.Background()))
+}
+
+// TestClusterExploreWarmRepeat: with the pass-through cache installed,
+// a repeat sweep is answered entirely at the coordinator — hit rate
+// 1.0, zero additional worker traffic.
+func TestClusterExploreWarmRepeat(t *testing.T) {
+	eng, err := dlrmperf.NewEngineWith(dlrmperf.EngineConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, workers := newTestCluster(t, 2, eng)
+	ctx := context.Background()
+
+	cold, err := coord.RunExplore(ctx, clusterGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.CacheHits != 0 || cold.Failed != 0 {
+		t.Fatalf("cold pass: %d hits, %d failed", cold.CacheHits, cold.Failed)
+	}
+	routed := workers[0].receivedCount() + workers[1].receivedCount()
+	if routed != 4 {
+		t.Fatalf("cold pass routed %d requests, want 4", routed)
+	}
+
+	warm, err := coord.RunExplore(ctx, clusterGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.CacheHitRate != 1 || warm.CacheHits != 4 {
+		t.Errorf("warm hit rate = %v (%d hits), want 1.0 over 4", warm.CacheHitRate, warm.CacheHits)
+	}
+	if again := workers[0].receivedCount() + workers[1].receivedCount(); again != routed {
+		t.Errorf("warm pass routed %d extra requests, want 0 (answered locally)", again-routed)
+	}
+	st := coord.Stats(ctx)
+	assertAggInvariant(t, st)
+	if st.Coordinator.LocalCacheHits != 4 {
+		t.Errorf("local cache hits = %d, want 4", st.Coordinator.LocalCacheHits)
+	}
+}
+
+// TestClusterExploreHTTP drives POST /v1/explore on the coordinator:
+// 200 with full coverage, 400 grid_too_large over MaxGrid, 400
+// bad_grid on a structurally empty grid, and 503 + Retry-After while
+// draining.
+func TestClusterExploreHTTP(t *testing.T) {
+	coord, _ := newTestCluster(t, 2, nil)
+	ts := httptest.NewServer(coord.Handler())
+	defer ts.Close()
+
+	gridJSON, err := json.Marshal(clusterGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/explore", "application/json", bytes.NewReader(gridJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep explore.Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || rep.Unique != 4 || rep.Failed != 0 {
+		t.Fatalf("explore status %d, coverage %d unique / %d failed, want 200 with 4/0",
+			resp.StatusCode, rep.Unique, rep.Failed)
+	}
+	if len(rep.Frontier) == 0 {
+		t.Error("report missing frontier")
+	}
+
+	postErr := func(body string) (int, serve.HTTPError) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/explore", "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var he serve.HTTPError
+		json.NewDecoder(resp.Body).Decode(&he)
+		return resp.StatusCode, he
+	}
+	if code, he := postErr(`{"devices": ["V100"]}`); code != http.StatusBadRequest || he.Code != "bad_grid" {
+		t.Errorf("empty grid: %d %q, want 400 bad_grid", code, he.Code)
+	}
+
+	small := New(Config{Registry: coord.cfg.Registry, MaxGrid: 2})
+	tsSmall := httptest.NewServer(small.Handler())
+	defer tsSmall.Close()
+	resp2, err := http.Post(tsSmall.URL+"/v1/explore", "application/json", bytes.NewReader(gridJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var he serve.HTTPError
+	json.NewDecoder(resp2.Body).Decode(&he)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest || he.Code != "grid_too_large" {
+		t.Errorf("over-budget grid: %d %q, want 400 grid_too_large", resp2.StatusCode, he.Code)
+	}
+
+	coord.Drain(false)
+	resp3, err := http.Post(ts.URL+"/v1/explore", "application/json", bytes.NewReader(gridJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("explore during drain: status %d, want 503", resp3.StatusCode)
+	}
+	if resp3.Header.Get("Retry-After") == "" {
+		t.Error("503 response missing Retry-After")
+	}
+}
+
+// TestClusterExploreWorkerFailure: a grid over a device whose affine
+// worker is dead still completes — failover retries the unit on the
+// surviving worker and the report records zero failures.
+func TestClusterExploreWorkerFailure(t *testing.T) {
+	coord, workers := newTestCluster(t, 2, nil)
+	workers[0].killed.Store(true)
+	rep, err := coord.RunExplore(context.Background(), clusterGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 0 || rep.Predicted != 4 {
+		t.Fatalf("with one dead worker: %d predicted / %d failed: %+v",
+			rep.Predicted, rep.Failed, rep.FailedSamples)
+	}
+	if got := workers[1].receivedCount(); got != 4 {
+		t.Errorf("surviving worker served %d units, want 4", got)
+	}
+}

@@ -1,0 +1,38 @@
+package explore
+
+import (
+	"context"
+	"time"
+
+	"dlrmperf"
+)
+
+// Sweep expands the grid and drives it through one in-process engine:
+// the unique units fan out across the engine's bounded worker pool via
+// PredictBatchContext (warm units are served inline from the result
+// cache; misses share the pool with the rest of the process), and
+// every result streams into the online aggregates. Canceling ctx
+// abandons the remaining units cleanly — each reports the context
+// error — without poisoning any in-flight computation.
+func Sweep(ctx context.Context, eng *dlrmperf.Engine, g Grid) (*Report, error) {
+	ex, err := Expand(g)
+	if err != nil {
+		return nil, err
+	}
+	return SweepExpansion(ctx, eng, ex), nil
+}
+
+// SweepExpansion is Sweep over an already-expanded grid, so callers
+// that need the expansion (to size-cap it, or to reuse it) expand once.
+func SweepExpansion(ctx context.Context, eng *dlrmperf.Engine, ex *Expansion) *Report {
+	start := time.Now()
+	agg := NewAggregator(ex)
+	res := eng.PredictBatchContext(ctx, ex.Requests())
+	for i := range res {
+		agg.Add(i, OutcomeOf(res[i]))
+	}
+	rep := agg.Report(time.Since(start))
+	assets := eng.AssetStats()
+	rep.Assets = &assets
+	return rep
+}

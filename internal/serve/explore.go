@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"dlrmperf/internal/explore"
+	"dlrmperf/internal/xsync"
+)
+
+// GridTooLargeError rejects a grid whose expanded cross-product
+// exceeds Config.MaxGrid — the HTTP 400 grid_too_large surface.
+type GridTooLargeError struct{ Size, Max int }
+
+func (e *GridTooLargeError) Error() string {
+	return fmt.Sprintf("serve: grid expands to %d points, above the %d-point limit; split the axes", e.Size, e.Max)
+}
+
+// WireRequest maps one explore grid point onto the serving wire shape,
+// carrying the grid's per-prediction timeout. Shared between the
+// worker's own explore path and the cluster coordinator's.
+func WireRequest(p explore.Point, timeoutMs int64) Request {
+	return Request{
+		Scenario: p.Scenario, Device: p.Device, Batch: p.Batch,
+		GPUs: p.GPUs, Comm: p.Comm, Shared: p.Shared, TimeoutMs: timeoutMs,
+	}
+}
+
+// RunExplore expands the grid and drives its unique units through the
+// server's admission pipeline — every unit rides Submit's blocking
+// admission exactly like a batch row, so the sweep is governed by the
+// same queue, counted by the same /stats buckets, and preserves
+// hits + misses + rejected == requests. Grid points scenario
+// validation rejects are counted explore-side and never admitted.
+// Submitters are bounded by the queue capacity plus the worker width:
+// enough to keep every worker busy with a full queue behind it, while
+// a million-point grid holds a bounded goroutine count, not one per
+// point.
+func (s *Server) RunExplore(ctx context.Context, g explore.Grid) (*explore.Report, error) {
+	if s.Draining() {
+		return nil, ErrDraining
+	}
+	if size := g.Size(); size > s.cfg.MaxGrid {
+		return nil, &GridTooLargeError{Size: size, Max: s.cfg.MaxGrid}
+	}
+	ex, err := explore.Expand(g)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	agg := explore.NewAggregator(ex)
+	submitters := s.cfg.Workers + s.cfg.QueueDepth
+	xsync.ForEachN(len(ex.Unique), submitters, func(i int) {
+		res, err := s.Submit(ctx, WireRequest(ex.Unique[i].Point, g.TimeoutMs))
+		if err != nil {
+			agg.Add(i, explore.Outcome{Err: err.Error()})
+			return
+		}
+		agg.Add(i, explore.Outcome{
+			E2EUs:             res.E2EUs,
+			ScalingEfficiency: res.ScalingEfficiency,
+			CacheHit:          res.CacheHit,
+			Err:               res.Error,
+		})
+	})
+	rep := agg.Report(time.Since(start))
+	assets := s.cfg.Backend.AssetStats()
+	rep.Assets = &assets
+	return rep, nil
+}
+
+func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
+	var g explore.Grid
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)).Decode(&g); err != nil {
+		WriteJSON(w, http.StatusBadRequest, HTTPError{Code: "bad_request", Message: err.Error()})
+		return
+	}
+	rep, err := s.RunExplore(r.Context(), g)
+	var tooLarge *GridTooLargeError
+	switch {
+	case err == nil:
+		WriteJSON(w, http.StatusOK, rep)
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
+		WriteJSON(w, http.StatusServiceUnavailable, HTTPError{Code: "draining", Message: err.Error()})
+	case errors.As(err, &tooLarge):
+		WriteJSON(w, http.StatusBadRequest, HTTPError{Code: "grid_too_large", Message: err.Error()})
+	default:
+		// Expansion errors: structurally empty grids.
+		WriteJSON(w, http.StatusBadRequest, HTTPError{Code: "bad_grid", Message: err.Error()})
+	}
+}

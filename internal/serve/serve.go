@@ -12,6 +12,7 @@
 //
 //	POST /v1/predict        one request  -> one result row (429 when the queue is full)
 //	POST /v1/predict/batch  request list -> full report (admission blocks instead of 429ing)
+//	POST /v1/explore        grid spec    -> design-space sweep report (frontier, coverage, throughput)
 //	GET  /v1/scenarios      registered scenario names
 //	GET  /healthz           liveness (503 while draining)
 //	GET  /stats             admission/stream/cache/asset counters
@@ -71,6 +72,11 @@ type Config struct {
 	// per row, so the row count must be bounded for backpressure to
 	// bound anything.
 	MaxBatch int
+	// MaxGrid bounds the expanded cross-product size of one
+	// POST /v1/explore (default 262144 grid points). Unlike MaxBatch
+	// this caps the *expanded* size: a few-line grid spec can name
+	// millions of points, so the wire size bounds nothing.
+	MaxGrid int
 }
 
 func (c Config) withDefaults() Config {
@@ -88,6 +94,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 4096
+	}
+	if c.MaxGrid <= 0 {
+		c.MaxGrid = 1 << 18
 	}
 	return c
 }
@@ -409,6 +418,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/predict", s.handlePredict)
 	mux.HandleFunc("POST /v1/predict/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/explore", s.handleExplore)
 	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)

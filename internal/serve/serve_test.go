@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -62,7 +63,11 @@ func (f *fakeBackend) PredictContext(ctx context.Context, req dlrmperf.PredictRe
 			return dlrmperf.PredictResult{Request: req, Err: ctx.Err()}
 		}
 	}
-	key := req.Workload + "/" + req.Device
+	// Full request identity, so grid sweeps over distinct scenarios and
+	// batches see engine-like hit patterns (identical requests hit,
+	// distinct ones miss).
+	key := fmt.Sprintf("%s/%s/%s/%d/%d/%s/%t",
+		req.Workload, req.Scenario, req.Device, req.Batch, req.GPUs, req.Comm, req.SharedOverheads)
 	f.mu.Lock()
 	hit := f.seen[key]
 	f.seen[key] = true

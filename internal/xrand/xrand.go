@@ -199,6 +199,20 @@ func NewZipf(rng *Rand, n int, s float64) *Zipf {
 // N returns the support size of the sampler.
 func (z *Zipf) N() int { return len(z.cdf) }
 
+// ZipfStream draws length indices in [0, n) from a fresh Zipf(s)
+// sampler over rng — the skewed access stream the asset-store
+// benchmark and the explore benchmark workloads share. It is exactly
+// NewZipf(rng, n, s) followed by length Next calls, so a caller that
+// previously inlined that loop sees bit-identical draws.
+func ZipfStream(rng *Rand, n int, s float64, length int) []int {
+	z := NewZipf(rng, n, s)
+	stream := make([]int, length)
+	for i := range stream {
+		stream[i] = z.Next()
+	}
+	return stream
+}
+
 // Next samples one value in [0, N()).
 func (z *Zipf) Next() int {
 	u := z.rng.Float64()

@@ -266,3 +266,17 @@ func TestHashStringStableAndDistinct(t *testing.T) {
 		seen[HashString(s)] = s
 	}
 }
+
+func TestZipfStreamMatchesInlineLoop(t *testing.T) {
+	z := NewZipf(New(2022), 48, 1.1)
+	want := make([]int, 200)
+	for i := range want {
+		want[i] = z.Next()
+	}
+	got := ZipfStream(New(2022), 48, 1.1, 200)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ZipfStream[%d] = %d, inline loop drew %d", i, got[i], want[i])
+		}
+	}
+}
