@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt bench bench-assets bench-check bench-baseline bench-ratchet serve-demo serve-http explore-demo cluster-e2e cover check
+.PHONY: build test race vet fmt lint bench bench-assets bench-check bench-baseline bench-ratchet serve-demo serve-http explore-demo cluster-e2e cover check
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,20 @@ vet:
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# lint is the invariant gate: the in-repo analyzer suite
+# (cmd/dlrmperf-lint: hotpath, atomicfield, deterministic, ctxflow —
+# see internal/analysis and the README "Static analysis" section),
+# plus staticcheck when it is installed. The analyzer suite builds
+# from this module with no network; CI additionally installs and
+# enforces staticcheck at a pinned version (see staticcheck.conf).
+lint:
+	$(GO) run ./cmd/dlrmperf-lint ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI enforces it at a pinned version)"; \
+	fi
 
 # bench regenerates the paper artifacts and tracks the calibration
 # speedup pair (serial vs parallel) in the perf trajectory.
@@ -94,4 +108,4 @@ cover:
 			|| { echo "$$pkg below the $(COVER_FLOOR)% coverage floor"; exit 1; }; \
 	done
 
-check: build vet fmt test cover
+check: build vet fmt lint test cover

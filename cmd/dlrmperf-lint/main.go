@@ -1,0 +1,60 @@
+// Command dlrmperf-lint runs the repository's invariant lint suite
+// (internal/analysis: hotpath, atomicfield, deterministic, ctxflow)
+// over the given package patterns and exits non-zero on any finding.
+//
+// Usage:
+//
+//	dlrmperf-lint [packages]   # defaults to ./...
+//
+// Suppress a finding with a justified escape-hatch comment on the
+// offending line or the line above:
+//
+//	//lint:allow <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dlrmperf/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := analysis.Load(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dlrmperf-lint: %v\n", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, pkg := range pkgs {
+		findings, err := analysis.RunPackage(pkg, analysis.All())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dlrmperf-lint: %v\n", err)
+			os.Exit(2)
+		}
+		for _, f := range findings {
+			fmt.Println(f)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,182 @@
+// Package analysis is the repository's invariant lint suite: a small
+// go/ast + go/types analyzer framework (stdlib-only — the build
+// environment has no network, so golang.org/x/tools/go/analysis is
+// deliberately not a dependency) plus the four analyzers that
+// mechanically enforce the load-bearing conventions the ROADMAP
+// "Architecture anchors" section used to state only in prose:
+//
+//   - hotpath:       no fmt / string-concat key building inside
+//     functions reachable from the steady-state predict path (the
+//     append-builder/pooled-buffer idiom is the only sanctioned one).
+//   - atomicfield:   a struct field touched through sync/atomic
+//     anywhere must be accessed atomically everywhere.
+//   - deterministic: no time.Now, no global math/rand, and no
+//     map-iteration-ordered output in the fingerprint/identity
+//     packages.
+//   - ctxflow:       context.Background/TODO banned outside main and
+//     tests in the serving layers, and a received ctx must actually be
+//     propagated downstream.
+//
+// The suite runs as `dlrmperf-lint ./...` (cmd/dlrmperf-lint, wired
+// into `make lint` and CI). The escape hatch is a line comment
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the offending line or the line above it; the reason is required
+// by convention and review, not by the machine.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	// Name is the analyzer's identity: the tag reported with findings
+	// and the token accepted by //lint:allow.
+	Name string
+	// Doc is the one-line contract the analyzer enforces.
+	Doc string
+	// Run reports findings on one package via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one analyzer run over one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one raw finding before allow-comment suppression.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Inspect walks every file of the pass with ast.Inspect.
+func (p *Pass) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Hotpath, Atomicfield, Deterministic, Ctxflow}
+}
+
+// Finding is one suppressed-and-positioned finding, ready to print.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s [%s]", f.Pos, f.Message, f.Analyzer)
+}
+
+// allowDirective is the escape-hatch comment prefix. The full form is
+// "//lint:allow <analyzer> <reason>"; it suppresses the named
+// analyzer's findings on its own line and the line directly below it
+// (so it can sit on the offending line or immediately above).
+const allowDirective = "lint:allow"
+
+// allowSet maps file -> line -> analyzer names allowed on that line.
+type allowSet map[string]map[int]map[string]bool
+
+// collectAllows scans every comment of the files for allow directives.
+func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
+	out := allowSet{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, allowDirective) {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, allowDirective))
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := out[pos.Filename]
+				if byLine == nil {
+					byLine = map[int]map[string]bool{}
+					out[pos.Filename] = byLine
+				}
+				names := byLine[pos.Line]
+				if names == nil {
+					names = map[string]bool{}
+					byLine[pos.Line] = names
+				}
+				names[fields[0]] = true
+			}
+		}
+	}
+	return out
+}
+
+// allowed reports whether a finding by analyzer at pos is suppressed:
+// an allow directive for it sits on the same line or the line above.
+func (a allowSet) allowed(analyzer string, pos token.Position) bool {
+	byLine := a[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	return byLine[pos.Line][analyzer] || byLine[pos.Line-1][analyzer]
+}
+
+// RunPackage runs the analyzers over one loaded package, applies
+// allow-comment suppression, and returns position-sorted findings.
+func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+	allows := collectAllows(pkg.Fset, pkg.Files)
+	var out []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+		for _, d := range pass.diags {
+			pos := pkg.Fset.Position(d.Pos)
+			if allows.allowed(a.Name, pos) {
+				continue
+			}
+			out = append(out, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}

@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Atomicfield enforces all-or-nothing atomicity per struct field: if
+// any code in the package passes &x.f to a sync/atomic function, then
+// every other access to that field must also go through sync/atomic.
+// Mixed plain/atomic access is exactly the class of race the PR-5
+// stats-snapshot ordering fix removed by hand; the preferred cure is
+// the typed atomic.Int64/Uint64 wrappers, which make non-atomic access
+// inexpressible and keep this analyzer quiet.
+var Atomicfield = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "a struct field touched via sync/atomic anywhere must be accessed atomically everywhere",
+	Run:  runAtomicfield,
+}
+
+// atomicOps are the sync/atomic function-name prefixes whose first
+// argument is the address of the word being operated on.
+var atomicOps = []string{"Load", "Store", "Add", "Swap", "CompareAndSwap", "And", "Or"}
+
+func runAtomicfield(pass *Pass) error {
+	// Pass 1: fields whose address is taken for a sync/atomic call,
+	// and the exact selector nodes used in those sanctioned calls.
+	atomicFields := map[*types.Var]bool{}
+	sanctioned := map[*ast.SelectorExpr]bool{}
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, ok := pkgCall(pass.TypesInfo, call, "sync/atomic")
+		if !ok || !isAtomicOp(name) || len(call.Args) == 0 {
+			return true
+		}
+		un, ok := unparen(call.Args[0]).(*ast.UnaryExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := unparen(un.X).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if f := selectedField(pass.TypesInfo, sel); f != nil {
+			atomicFields[f] = true
+			sanctioned[sel] = true
+		}
+		return true
+	})
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: any other access to those fields is a mixed-mode race.
+	pass.Inspect(func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sanctioned[sel] {
+			return true
+		}
+		f := selectedField(pass.TypesInfo, sel)
+		if f == nil || !atomicFields[f] {
+			return true
+		}
+		pass.Reportf(sel.Pos(),
+			"field %s is accessed via sync/atomic elsewhere in this package; this plain access races with it (use sync/atomic here too, or the typed atomic.%s wrapper)",
+			f.Name(), suggestedWrapper(f.Type()))
+		return true
+	})
+	return nil
+}
+
+func isAtomicOp(name string) bool {
+	for _, op := range atomicOps {
+		if strings.HasPrefix(name, op) {
+			return true
+		}
+	}
+	return false
+}
+
+// selectedField resolves sel to the struct field it selects, if any.
+func selectedField(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// suggestedWrapper names the typed sync/atomic wrapper for t.
+func suggestedWrapper(t types.Type) string {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return "Value"
+	}
+	switch b.Kind() {
+	case types.Int32:
+		return "Int32"
+	case types.Int64, types.Int:
+		return "Int64"
+	case types.Uint32:
+		return "Uint32"
+	case types.Uint64, types.Uint, types.Uintptr:
+		return "Uint64"
+	default:
+		return "Value"
+	}
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestAtomicfieldFixture(t *testing.T) {
+	RunFixture(t, "atomicfield", Atomicfield)
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestDeterministicFixture(t *testing.T) {
+	RunFixture(t, "deterministic", Deterministic)
+}

@@ -1,0 +1,222 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// hotpathConfig lists, for one package, the steady-state entry points
+// (roots) and the cold boundaries (stops) of the predict path. The
+// analyzer builds the package's static call graph, walks it from the
+// roots without crossing a stop, and forbids fmt calls and runtime
+// string concatenation in every function it reaches. Key building in
+// reached code must use the append-builder/pooled-buffer idiom
+// (Request.appendKey, xrand.AppendHex16, keyBufPool) that holds
+// PredictBatchCached at 4 allocs.
+type hotpathConfig struct {
+	roots []string // funcDisplayName spellings: "Fn" or "Type.Method"
+	stops []string // reachable-but-cold functions the walk must not enter
+}
+
+// hotpathPackages maps package paths (suffix-matched, so fixture
+// packages can reuse an entry name) to their hot-path roots.
+var hotpathPackages = map[string]hotpathConfig{
+	"dlrmperf/internal/engine": {
+		roots: []string{
+			// Steady-state prediction: cached single/batch entry, the
+			// fast cache-hit probe, remote result install, compiled
+			// plan execution, and the key builders themselves.
+			"Engine.PredictCtx",
+			"Engine.PredictBatchCtx",
+			"Engine.predictFast",
+			"Engine.RemoteResult",
+			"CompiledPlan.execute",
+			"Request.appendKey",
+			"classStore.getBytes",
+		},
+		stops: []string{
+			// Cold, once-per-scenario work reachable from PredictCtx:
+			// plan compilation and the uncompiled ablation path may
+			// use fmt.Errorf freely.
+			"Engine.compile",
+			"Engine.compileMulti",
+			"Engine.predictUncompiled",
+			"Engine.scenarioModel",
+			"group.Do",
+			"group.DoCtx",
+		},
+	},
+	"dlrmperf/internal/serve": {
+		roots: []string{
+			// Admission and the 429 backpressure path: every request,
+			// shed or served, runs through these.
+			"Server.admit",
+			"Server.serveOne",
+			"Server.handlePredict",
+			"Server.retryAfterSeconds",
+			"RetryAfterSeconds",
+			"resultFrom",
+		},
+		stops: []string{},
+	},
+	"dlrmperf/internal/scenario": {
+		roots: []string{
+			// Fingerprint/key builders: run per request in the serve
+			// path via engine key construction.
+			"Spec.AppendFingerprint",
+			"Spec.AppendCanonical",
+			"AppendTablesKey",
+			"appendLowerASCII",
+		},
+		stops: []string{},
+	},
+	// Fixture package for the analyzer's own tests.
+	"hotpath": {
+		roots: []string{"PredictHot", "Server.admit"},
+		stops: []string{"coldCompile"},
+	},
+}
+
+// Hotpath forbids fmt calls and runtime string concatenation in
+// functions reachable from the configured steady-state predict roots.
+var Hotpath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "no fmt or +-concat key building in functions reachable from the steady-state predict path",
+	Run:  runHotpath,
+}
+
+func runHotpath(pass *Pass) error {
+	var cfg hotpathConfig
+	found := false
+	for path, c := range hotpathPackages {
+		if hasPathSuffix(pass.Pkg.Path(), path) {
+			cfg, found = c, true
+			break
+		}
+	}
+	if !found {
+		return nil
+	}
+
+	// Index this package's function declarations by object.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	names := map[string]*types.Func{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls[fn] = fd
+			names[funcDisplayName(fn)] = fn
+		}
+	}
+
+	stop := map[*types.Func]bool{}
+	for _, s := range cfg.stops {
+		if fn, ok := names[s]; ok {
+			stop[fn] = true
+		}
+	}
+
+	// BFS over same-package static call edges from the roots.
+	reached := map[*types.Func]bool{}
+	var queue []*types.Func
+	for _, r := range cfg.roots {
+		fn, ok := names[r]
+		if !ok {
+			continue // config may name functions a fixture omits
+		}
+		if !reached[fn] {
+			reached[fn] = true
+			queue = append(queue, fn)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		fd := decls[fn]
+		if fd == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(pass.TypesInfo, call)
+			if callee == nil || callee.Pkg() != pass.Pkg {
+				return true
+			}
+			if stop[callee] || reached[callee] {
+				return true
+			}
+			if _, hasBody := decls[callee]; !hasBody {
+				return true // interface method or declared elsewhere
+			}
+			reached[callee] = true
+			queue = append(queue, callee)
+			return true
+		})
+	}
+
+	// Check every reached body, in deterministic order.
+	var ordered []*types.Func
+	for fn := range reached {
+		if decls[fn] != nil {
+			ordered = append(ordered, fn)
+		}
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		return decls[ordered[i]].Pos() < decls[ordered[j]].Pos()
+	})
+	for _, fn := range ordered {
+		checkHotBody(pass, funcDisplayName(fn), decls[fn].Body)
+	}
+	return nil
+}
+
+// checkHotBody reports fmt calls and runtime string concatenation
+// inside one hot function body.
+func checkHotBody(pass *Pass, name string, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fname, ok := pkgCall(pass.TypesInfo, n, "fmt"); ok {
+				pass.Reportf(n.Pos(),
+					"fmt.%s in %s, which is reachable from the steady-state predict path; build keys/messages with the append-builder idiom or strconv",
+					fname, name)
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && pass.isRuntimeStringConcat(n) {
+				pass.Reportf(n.Pos(),
+					"string concatenation in %s, which is reachable from the steady-state predict path; use the pooled append-builder idiom",
+					name)
+				return false // one report per concat chain
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringType(pass.TypesInfo.TypeOf(n.Lhs[0])) {
+				pass.Reportf(n.Pos(),
+					"string += in %s, which is reachable from the steady-state predict path; use the pooled append-builder idiom",
+					name)
+			}
+		}
+		return true
+	})
+}
+
+// isRuntimeStringConcat reports whether e is a string + that survives
+// to runtime (constant-folded concatenation of literals is free).
+func (p *Pass) isRuntimeStringConcat(e *ast.BinaryExpr) bool {
+	tv, ok := p.TypesInfo.Types[e]
+	if !ok || !isStringType(tv.Type) {
+		return false
+	}
+	return tv.Value == nil // non-constant result
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestHotpathFixture(t *testing.T) {
+	RunFixture(t, "hotpath", Hotpath)
+}

@@ -1,0 +1,38 @@
+// Package atomicfield is the seeded fixture for the atomicfield
+// analyzer: a field touched via sync/atomic anywhere must be accessed
+// atomically everywhere.
+package atomicfield
+
+import "sync/atomic"
+
+type counters struct {
+	hits  int64
+	total int64
+}
+
+// IncHits makes hits an atomic field for the whole package.
+func (c *counters) IncHits() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// ReadHits reads hits without sync/atomic: a mixed-mode race, flagged.
+func (c *counters) ReadHits() int64 {
+	return c.hits // want `field hits is accessed via sync/atomic elsewhere`
+}
+
+// ReadHitsAtomic is the sanctioned access: quiet.
+func (c *counters) ReadHitsAtomic() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// IncTotal touches a field that is never atomic anywhere: quiet.
+func (c *counters) IncTotal() {
+	c.total++
+}
+
+// SnapshotHits shows the escape hatch: the allow directive suppresses
+// the finding on the next line.
+func (c *counters) SnapshotHits() int64 {
+	//lint:allow atomicfield fixture demo: pretend a mutex guards this read
+	return c.hits
+}

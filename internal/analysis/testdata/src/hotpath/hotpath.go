@@ -1,0 +1,57 @@
+// Package hotpath is the seeded fixture for the hotpath analyzer:
+// PredictHot and Server.admit are configured roots, coldCompile is a
+// configured stop, and the bad patterns carry want expectations.
+package hotpath
+
+import "fmt"
+
+// Server mirrors the serve-layer shape so a method root exercises the
+// Type.Method config spelling.
+type Server struct{}
+
+// PredictHot is a configured root: everything it reaches is hot.
+func PredictHot(id int, name string) string {
+	if err := coldCompile(name); err != nil {
+		return ""
+	}
+	const prefix = "k" + "/" // constant-folded concat is free: not flagged
+	_ = prefix
+	return buildKey(id, name)
+}
+
+// buildKey is reachable from PredictHot, so all three allocating
+// idioms in it must be flagged.
+func buildKey(id int, name string) string {
+	s := fmt.Sprintf("k/%d", id) // want `fmt\.Sprintf in buildKey`
+	s += name                    // want `string \+= in buildKey`
+	s = s + grandfathered(name)  // want `string concatenation in buildKey`
+	return s
+}
+
+// admit is a configured root via the "Server.admit" spelling.
+func (s *Server) admit(req string) error {
+	if req == "" {
+		return fmt.Errorf("empty request") // want `fmt\.Errorf in Server\.admit`
+	}
+	return nil
+}
+
+// grandfathered shows the escape hatch: reachable from a root, but the
+// allow directive suppresses the concat finding.
+func grandfathered(id string) string {
+	return "prefix/" + id //lint:allow hotpath grandfathered call site pending append-builder port
+}
+
+// coldCompile is a configured stop: fmt here is sanctioned cold-path
+// error construction and must not be flagged.
+func coldCompile(name string) error {
+	if name == "" {
+		return fmt.Errorf("compile %s: empty graph", name)
+	}
+	return nil
+}
+
+// orphan is unreachable from any root; nothing in it is flagged.
+func orphan(a, b string) string {
+	return fmt.Sprintf("%s-%s", a, b)
+}

@@ -527,6 +527,7 @@ func (c *Coordinator) Drain(propagate bool) {
 		wg.Add(1)
 		go func(w Worker) {
 			defer wg.Done()
+			//lint:allow ctxflow deliberately detached: drain pushes must outlive the dying caller's ctx, bounded by StatsTimeout
 			ctx, cancel := context.WithTimeout(context.Background(), c.cfg.StatsTimeout)
 			defer cancel()
 			hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, w.URL+"/v1/drain", nil)

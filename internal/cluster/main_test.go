@@ -1,0 +1,13 @@
+package cluster
+
+import (
+	"testing"
+
+	"dlrmperf/internal/leakcheck"
+)
+
+// TestMain guards the package against leaked goroutines: heartbeat
+// loops or forwarding calls that survive Close/Drain fail the suite.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}

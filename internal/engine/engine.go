@@ -558,7 +558,7 @@ func (e *Engine) PredictCtx(ctx context.Context, req Request) Result {
 		res.Err = err
 		return res
 	}
-	start := time.Now()
+	start := time.Now() //lint:allow deterministic latency observability only; never feeds keys or fingerprints
 	xsync.AtomicMax(&e.peakInFlight, e.inFlight.Add(1))
 	defer func() {
 		e.inFlight.Add(-1)
@@ -595,6 +595,7 @@ func (e *Engine) PredictCtx(ctx context.Context, req Request) Result {
 	*kb = buf
 	keyBufPool.Put(kb)
 	executed := false
+	//lint:allow hotpath miss-path only: predictFast already served cache hits alloc-free above
 	got, err := e.flight.DoCtx(ctx, "predict/"+key, func() (any, error) {
 		if c, ok := e.results.get(key); ok {
 			return c, nil
@@ -644,7 +645,7 @@ func (e *Engine) PredictCtx(ctx context.Context, req Request) Result {
 // DoCtx's detached-execution contract: an expired caller abandons the
 // wait while the fetch completes into the cache.
 func (e *Engine) RemoteResult(ctx context.Context, req Request, fetch func() (any, error)) (v any, hit bool, err error) {
-	start := time.Now()
+	start := time.Now() //lint:allow deterministic latency observability only; never feeds keys or fingerprints
 	xsync.AtomicMax(&e.peakInFlight, e.inFlight.Add(1))
 	defer func() {
 		e.inFlight.Add(-1)
@@ -767,7 +768,7 @@ func (e *Engine) predictFast(ctx context.Context, req *Request, out *Result) boo
 		// path, which re-observes ctx at entry.
 		return false
 	}
-	start := time.Now()
+	start := time.Now() //lint:allow deterministic latency observability only; never feeds keys or fingerprints
 	kb := keyBufPool.Get().(*[]byte)
 	buf := req.appendKey((*kb)[:0])
 	c, ok := e.results.getBytes(buf)

@@ -1,0 +1,13 @@
+package explore
+
+import (
+	"testing"
+
+	"dlrmperf/internal/leakcheck"
+)
+
+// TestMain guards the package against leaked goroutines: a sweep whose
+// cancellation strands engine fan-out workers fails the suite.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}

@@ -25,7 +25,7 @@ func Sweep(ctx context.Context, eng *dlrmperf.Engine, g Grid) (*Report, error) {
 // SweepExpansion is Sweep over an already-expanded grid, so callers
 // that need the expansion (to size-cap it, or to reuse it) expand once.
 func SweepExpansion(ctx context.Context, eng *dlrmperf.Engine, ex *Expansion) *Report {
-	start := time.Now()
+	start := time.Now() //lint:allow deterministic wall-clock elapsed for the report only; frontier identity is fingerprint-keyed
 	agg := NewAggregator(ex)
 	res := eng.PredictBatchContext(ctx, ex.Requests())
 	for i := range res {

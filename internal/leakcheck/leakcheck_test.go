@@ -1,0 +1,51 @@
+package leakcheck
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCatchesBlockedGoroutine pins that a stranded goroutine is seen
+// by the snapshot and that wait clears once it exits.
+func TestCatchesBlockedGoroutine(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-release
+	}()
+	<-started
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if len(snapshot()) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("snapshot never saw the blocked goroutine")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	close(release)
+	if leaked := wait(2 * time.Second); len(leaked) != 0 {
+		t.Errorf("wait still reports %d goroutines after release:\n%s", len(leaked), leaked[0])
+	}
+}
+
+// TestIgnoredFilters pins the harness/runtime ignore list.
+func TestIgnoredFilters(t *testing.T) {
+	cases := []struct {
+		stack string
+		want  bool
+	}{
+		{"goroutine 1 [chan receive]:\ntesting.(*M).Run(...)\n\tmain.go:1", true},
+		{"goroutine 7 [IO wait]:\nnet/http.(*persistConn).readLoop(...)\n\ttransport.go:1", true},
+		{"goroutine 9 [chan receive]:\ndlrmperf/internal/serve.(*Server).worker(...)\n\tserve.go:1", false},
+	}
+	for _, c := range cases {
+		if got := ignored(c.stack); got != c.want {
+			t.Errorf("ignored(%q) = %v, want %v", c.stack, got, c.want)
+		}
+	}
+}

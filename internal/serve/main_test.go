@@ -1,0 +1,13 @@
+package serve
+
+import (
+	"testing"
+
+	"dlrmperf/internal/leakcheck"
+)
+
+// TestMain guards the package against leaked goroutines: a drain path
+// that strands a queue worker fails the suite, not production.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}

@@ -228,7 +228,7 @@ func (s *Server) admit(ctx context.Context, req Request, wait bool) (Result, err
 	s.admitMu.Unlock()
 
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //lint:allow ctxflow nil-ctx API fallback; requestContext layers the queue timeout on top either way
 	}
 	ctx, cancel := s.requestContext(ctx, req)
 	defer cancel()

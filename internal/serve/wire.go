@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"dlrmperf"
@@ -217,7 +218,7 @@ func RetryAfterSeconds(d time.Duration) string {
 	if secs < 1 {
 		secs = 1
 	}
-	return fmt.Sprintf("%d", secs)
+	return strconv.Itoa(secs)
 }
 
 // Report assembles the batch report from finished rows plus the
