@@ -1,0 +1,202 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dlrmperf/internal/loadgen"
+)
+
+// serveProc is one dlrmperf-serve child process with its announced
+// listen address and a race-guarded stderr tail for failure forensics.
+type serveProc struct {
+	name string
+	cmd  *exec.Cmd
+
+	addr string
+
+	tailMu  sync.Mutex
+	tailBuf bytes.Buffer
+}
+
+func (p *serveProc) tail() string {
+	p.tailMu.Lock()
+	defer p.tailMu.Unlock()
+	return p.tailBuf.String()
+}
+
+func (p *serveProc) base() string { return "http://" + p.addr }
+
+// startServeProc launches the serve binary with args and waits for its
+// "listening on ADDR" announcement.
+func startServeProc(t *testing.T, name, bin string, args ...string) *serveProc {
+	t.Helper()
+	p := &serveProc{name: name, cmd: exec.Command(bin, args...)}
+	stderr, err := p.cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.cmd.Process.Kill() })
+
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			p.tailMu.Lock()
+			p.tailBuf.WriteString(line + "\n")
+			p.tailMu.Unlock()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				addr := strings.TrimSpace(line[i+len("listening on "):])
+				if j := strings.IndexByte(addr, ' '); j >= 0 {
+					addr = addr[:j]
+				}
+				select {
+				case addrCh <- addr:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case p.addr = <-addrCh:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("%s never announced its address; tail:\n%s", name, p.tail())
+	}
+	return p
+}
+
+func buildBinary(t *testing.T, dir, pkgDir string) string {
+	t.Helper()
+	abs, err := filepath.Abs(pkgDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(dir, filepath.Base(abs))
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Dir = pkgDir
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", pkgDir, err, out)
+	}
+	return bin
+}
+
+// TestE2ELoadgen is the cross-process load-harness smoke that `make
+// loadtest` runs in CI: build dlrmperf-serve and dlrmperf-loadgen,
+// stand up 1 coordinator + 2 fast-calib workers, replay the checked-in
+// trace with a hot and a background tenant through the loadgen binary,
+// and check the emitted report — requests succeeded, the per-tenant
+// breakdown is present, the cluster-wide accounting invariant held,
+// and the benchdiff bridge file decodes.
+func TestE2ELoadgen(t *testing.T) {
+	dir := t.TempDir()
+	serveBin := buildBinary(t, dir, filepath.Join("..", "dlrmperf-serve"))
+	loadgenBin := buildBinary(t, dir, ".")
+
+	coord := startServeProc(t, "coordinator", serveBin,
+		"-coordinator", "-listen", "127.0.0.1:0", "-liveness", "3s")
+	startServeProc(t, "worker1", serveBin,
+		"-listen", "127.0.0.1:0", "-fast-calib", "-queue", "4",
+		"-register", coord.base(), "-heartbeat", "200ms")
+	startServeProc(t, "worker2", serveBin,
+		"-listen", "127.0.0.1:0", "-fast-calib", "-queue", "4",
+		"-register", coord.base(), "-heartbeat", "200ms")
+
+	reportPath := filepath.Join(dir, "report.json")
+	benchPath := filepath.Join(dir, "bench.json")
+	run := exec.Command(loadgenBin,
+		"-target", coord.base(),
+		"-wait-workers", "2",
+		"-trace", filepath.Join("testdata", "trace.json"),
+		"-tenants", "hot:200:high,bg:20:low",
+		"-n", "60",
+		"-seed", "11",
+		"-timeout", "2m",
+		"-assert-invariant",
+		"-o", reportPath,
+		"-bench-out", benchPath,
+	)
+	out, err := run.CombinedOutput()
+	if err != nil {
+		t.Fatalf("loadgen run failed: %v\n%s\ncoordinator tail:\n%s", err, out, coord.tail())
+	}
+
+	data, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep loadgen.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report does not decode: %v\n%s", err, data)
+	}
+	if rep.Totals.Scheduled != 120 || rep.Totals.Sent+rep.Totals.Missed != 120 {
+		t.Fatalf("schedule accounting = %+v, want 120 scheduled", rep.Totals)
+	}
+	if rep.Totals.OK == 0 {
+		t.Fatalf("no request succeeded against the cluster:\n%s", out)
+	}
+	if len(rep.Tenants) != 2 {
+		t.Fatalf("tenant breakdown has %d entries, want 2:\n%s", len(rep.Tenants), data)
+	}
+	for _, tr := range rep.Tenants {
+		if tr.Name != "hot" && tr.Name != "bg" {
+			t.Fatalf("unexpected tenant %q in report", tr.Name)
+		}
+	}
+	if rep.Server == nil || !rep.Server.InvariantOK {
+		t.Fatalf("cluster invariant not verified: %+v\n%s", rep.Server, out)
+	}
+	if rep.Totals.CacheHitRate == 0 {
+		t.Errorf("no cache hits replaying a 4-row trace %d times", rep.Totals.OK)
+	}
+
+	benchData, err := os.ReadFile(benchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var suite loadgen.BenchSuite
+	if err := json.Unmarshal(benchData, &suite); err != nil {
+		t.Fatalf("bench suite does not decode: %v\n%s", err, benchData)
+	}
+	p99, ok := suite.Benchmarks["LoadgenLatencyP99"]
+	if !ok || p99.NsPerOp <= 0 || p99.BytesPerOp != -1 {
+		t.Fatalf("bench suite = %+v, want a populated LoadgenLatencyP99 with -1 alloc markers", suite)
+	}
+}
+
+// TestLoadgenFlagValidation: unusable invocations fail fast with a
+// diagnostic instead of hammering nothing.
+func TestLoadgenFlagValidation(t *testing.T) {
+	bin := buildBinary(t, t.TempDir(), ".")
+	for _, tc := range []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"no target", nil, "-target is required"},
+		{"bad tenant", []string{"-target", "http://x", "-tenants", "solo"}, "want name:rps"},
+		{"bad rps", []string{"-target", "http://x", "-tenants", "t:fast"}, "bad rps"},
+		{"bad priority", []string{"-target", "http://x", "-tenants", "t:5:urgent"}, "priority must be"},
+		{"bad trace", []string{"-target", "http://x", "-trace", "testdata/nope.json"}, "nope.json"},
+	} {
+		out, err := exec.Command(bin, tc.args...).CombinedOutput()
+		if err == nil {
+			t.Fatalf("%s exited 0:\n%s", tc.name, out)
+		}
+		if !strings.Contains(string(out), tc.want) {
+			t.Fatalf("%s: output %q does not mention %q", tc.name, out, tc.want)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+// Command dlrmperf-loadgen replays load against a live dlrmperf-serve
+// worker or coordinator and reports SLO accounting: p50/p95/p99
+// latency, achieved throughput, shed rate by rejection code, cache
+// hit rate, and a per-tenant breakdown. The stream is either a
+// Zipf-skewed synthetic pool or a checked-in trace file, fired by a
+// bounded open-loop scheduler (per-tenant fixed-rate clocks, shared
+// in-flight cap), and every request goes through the typed client —
+// the same path the coordinator itself uses.
+//
+//	dlrmperf-loadgen -target http://127.0.0.1:8080 \
+//	    -tenants hot:200:high,bg:20 -duration 10s -o report.json
+//
+// -bench-out writes the latency quantiles as a benchdiff-compatible
+// suite, so load runs join the same ratcheting regression gate as the
+// micro benchmarks. -max-shed-rate and -assert-invariant turn the run
+// into a self-asserting smoke: it fails if the server sheds more than
+// the bound or its /stats accounting identity breaks.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"dlrmperf/internal/client"
+	"dlrmperf/internal/loadgen"
+)
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dlrmperf-loadgen:", err)
+	os.Exit(1)
+}
+
+// parseTenants reads the -tenants spec: comma-separated
+// name:rps[:priority] entries.
+func parseTenants(spec string) ([]loadgen.TenantSpec, error) {
+	var out []loadgen.TenantSpec
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		parts := strings.Split(entry, ":")
+		if len(parts) < 2 || len(parts) > 3 {
+			return nil, fmt.Errorf("tenant %q: want name:rps or name:rps:priority", entry)
+		}
+		rps, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil || rps <= 0 {
+			return nil, fmt.Errorf("tenant %q: bad rps %q", entry, parts[1])
+		}
+		ts := loadgen.TenantSpec{Name: parts[0], RPS: rps}
+		if len(parts) == 3 {
+			switch parts[2] {
+			case "high", "normal", "low":
+				ts.Priority = parts[2]
+			default:
+				return nil, fmt.Errorf("tenant %q: priority must be one of high, normal, low", entry)
+			}
+		}
+		out = append(out, ts)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no tenants in %q", spec)
+	}
+	return out, nil
+}
+
+// waitReady polls the target's /healthz until it answers with at
+// least minWorkers live workers (coordinators report the count;
+// workers report none and pass with minWorkers 0).
+func waitReady(ctx context.Context, cl *client.Client, minWorkers int, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for {
+		h, err := cl.Healthz(ctx)
+		if err == nil && h.Status == "ok" && h.Workers >= minWorkers {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("target not ready after %s: %w", budget, err)
+			}
+			return fmt.Errorf("target not ready after %s: status %q, %d workers (want >= %d)", budget, h.Status, h.Workers, minWorkers)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+func main() {
+	target := flag.String("target", "", "base URL of the worker or coordinator under load (required)")
+	tenantsSpec := flag.String("tenants", "default:50", "offered load: comma-separated name:rps[:priority] entries")
+	trace := flag.String("trace", "", "replay trace JSON (array of requests, or {\"requests\": [...]}); empty synthesizes a pool")
+	duration := flag.Duration("duration", 0, "wall-clock budget (0 with -n 0 defaults to 5s)")
+	n := flag.Int("n", 0, "requests to schedule per tenant (0 = bound by -duration)")
+	maxInFlight := flag.Int("max-inflight", 64, "outstanding-request cap across all tenants")
+	zipf := flag.Float64("zipf", 1.0, "zipf skew of the draw over the pool (0 = uniform)")
+	poolSize := flag.Int("pool-size", 32, "synthetic pool size (ignored with -trace)")
+	seed := flag.Int64("seed", 2022, "sampler seed (reproducible streams)")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request deadline")
+	out := flag.String("o", "-", "report JSON path (- for stdout)")
+	benchOut := flag.String("bench-out", "", "write latency quantiles as a benchdiff suite to this path")
+	maxShedRate := flag.Float64("max-shed-rate", 0.9, "fail when the overall shed rate exceeds this fraction")
+	assertInvariant := flag.Bool("assert-invariant", false, "fetch /stats after the run and fail unless hits+misses+rejected == requests")
+	waitWorkers := flag.Int("wait-workers", 0, "block until the target reports at least this many live workers")
+	waitBudget := flag.Duration("wait-budget", 30*time.Second, "how long -wait-workers may block")
+	flag.Parse()
+
+	if *target == "" {
+		fail(fmt.Errorf("-target is required"))
+	}
+	tenants, err := parseTenants(*tenantsSpec)
+	if err != nil {
+		fail(err)
+	}
+	cfg := loadgen.Config{
+		Target:         *target,
+		Tenants:        tenants,
+		Duration:       *duration,
+		N:              *n,
+		MaxInFlight:    *maxInFlight,
+		ZipfSkew:       *zipf,
+		PoolSize:       *poolSize,
+		Seed:           *seed,
+		Timeout:        *timeout,
+		CheckInvariant: *assertInvariant,
+	}
+	if *trace != "" {
+		if cfg.Requests, err = loadgen.LoadTrace(*trace); err != nil {
+			fail(err)
+		}
+	}
+
+	ctx := context.Background()
+	cl := client.New(*target)
+	if err := waitReady(ctx, cl, *waitWorkers, *waitBudget); err != nil {
+		fail(err)
+	}
+
+	rep, runErr := loadgen.Run(ctx, cfg)
+	if rep != nil {
+		if err := writeReport(*out, rep); err != nil {
+			fail(err)
+		}
+		if *benchOut != "" {
+			if err := writeJSON(*benchOut, rep.BenchSuite()); err != nil {
+				fail(err)
+			}
+		}
+		renderSummary(os.Stderr, rep)
+	}
+	if runErr != nil {
+		fail(runErr)
+	}
+	if rep.Totals.ShedRate > *maxShedRate {
+		fail(fmt.Errorf("shed rate %.3f exceeds the -max-shed-rate bound %.3f", rep.Totals.ShedRate, *maxShedRate))
+	}
+	if rep.Totals.Transport > 0 {
+		fail(fmt.Errorf("%d transport errors against %s", rep.Totals.Transport, *target))
+	}
+}
+
+func writeReport(path string, rep *loadgen.Report) error {
+	if path == "-" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(append(data, '\n'))
+		return err
+	}
+	return writeJSON(path, rep)
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// renderSummary prints the human-facing per-tenant table.
+func renderSummary(w io.Writer, rep *loadgen.Report) {
+	fmt.Fprintf(w, "target %s, %.1fs, seed %d, zipf %.2f\n", rep.Target, rep.DurationSecs, rep.Seed, rep.ZipfSkew)
+	rows := append([]loadgen.TenantReport{rep.Totals}, rep.Tenants...)
+	for _, tr := range rows {
+		shed := ""
+		if len(tr.Shed) > 0 {
+			codes := make([]string, 0, len(tr.Shed))
+			for code, n := range tr.Shed {
+				codes = append(codes, fmt.Sprintf("%s %d", code, n))
+			}
+			sort.Strings(codes)
+			shed = " (" + strings.Join(codes, ", ") + ")"
+		}
+		fmt.Fprintf(w, "%-12s ok %5d  shed %5.1f%%%s  hit %5.1f%%  %7.1f rps  p50 %6dus  p95 %6dus  p99 %6dus\n",
+			tr.Name, tr.OK, 100*tr.ShedRate, shed, 100*tr.CacheHitRate, tr.AchievedRPS,
+			tr.Latency.P50, tr.Latency.P95, tr.Latency.P99)
+	}
+	if rep.Server != nil {
+		verdict := "ok"
+		if !rep.Server.InvariantOK {
+			verdict = "BROKEN"
+		}
+		fmt.Fprintf(w, "server: %d requests = %d hits + %d misses + %d rejected — invariant %s\n",
+			rep.Server.Requests, rep.Server.CacheHits, rep.Server.CacheMisses, rep.Server.Rejected, verdict)
+	}
+}

@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestParseTenants(t *testing.T) {
+	specs, err := parseTenants("hot:200:high, bg:20 ,default:1.5:low")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 3 {
+		t.Fatalf("parsed %d tenants, want 3", len(specs))
+	}
+	if specs[0].Name != "hot" || specs[0].RPS != 200 || specs[0].Priority != "high" {
+		t.Fatalf("first spec = %+v", specs[0])
+	}
+	if specs[1].Name != "bg" || specs[1].RPS != 20 || specs[1].Priority != "" {
+		t.Fatalf("second spec = %+v", specs[1])
+	}
+	if specs[2].RPS != 1.5 {
+		t.Fatalf("fractional rps = %+v", specs[2])
+	}
+
+	for _, bad := range []string{"", "solo", "t:0", "t:-5", "t:abc", "t:5:urgent", "t:5:high:extra"} {
+		if _, err := parseTenants(bad); err == nil {
+			t.Errorf("spec %q accepted, want an error", bad)
+		}
+	}
+}

@@ -3,9 +3,8 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
-	"io"
-	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -16,7 +15,9 @@ import (
 	"testing"
 	"time"
 
+	"dlrmperf/internal/client"
 	"dlrmperf/internal/cluster"
+	"dlrmperf/internal/serve"
 )
 
 // serveProc is one dlrmperf-serve child process (worker or
@@ -104,6 +105,23 @@ func startServeProc(t *testing.T, name, bin string, args ...string) *serveProc {
 	return p
 }
 
+// waitForWorkers polls the coordinator's /healthz through the client
+// until it reports n live workers.
+func waitForWorkers(t *testing.T, cl *client.Client, coord *serveProc, n int) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		h, err := cl.Healthz(context.Background())
+		if err == nil && h.Status == "ok" && h.Workers == n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("workers never registered (last: %+v / %v); coordinator tail:\n%s", h, err, coord.tail())
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
 // TestE2ECluster is the cross-process sharded-serving end-to-end: it
 // builds the binary once, starts 1 coordinator + 2 self-registering
 // fast-calib workers, serves the mixed cluster fixture through the
@@ -135,73 +153,37 @@ func TestE2ECluster(t *testing.T) {
 		"-register", coord.base(), "-heartbeat", "200ms")
 	workers := map[string]*serveProc{w1.base(): w1, w2.base(): w2}
 
-	client := &http.Client{Timeout: 5 * time.Minute}
-	getJSON := func(path string, v any) int {
-		t.Helper()
-		resp, err := client.Get(coord.base() + path)
-		if err != nil {
-			t.Fatalf("GET %s: %v\ncoordinator tail:\n%s", path, err, coord.tail())
-		}
-		defer resp.Body.Close()
-		data, err := io.ReadAll(resp.Body)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if v != nil {
-			if err := json.Unmarshal(data, v); err != nil {
-				t.Fatalf("parsing %s response %q: %v", path, data, err)
-			}
-		}
-		return resp.StatusCode
-	}
+	ctx := context.Background()
+	cl := client.New(coord.base())
 
 	// Both workers register within a few heartbeats.
-	deadline := time.Now().Add(30 * time.Second)
-	for {
-		var health struct {
-			Status  string `json:"status"`
-			Workers int    `json:"workers"`
-		}
-		if code := getJSON("/healthz", &health); code == http.StatusOK && health.Workers == 2 {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("workers never registered; coordinator tail:\n%s", coord.tail())
-		}
-		time.Sleep(100 * time.Millisecond)
-	}
+	waitForWorkers(t, cl, coord, 2)
 
 	// The coordinator re-exports the scenario registry.
-	var scenarios []string
-	if code := getJSON("/v1/scenarios", &scenarios); code != http.StatusOK || len(scenarios) == 0 {
-		t.Fatalf("/v1/scenarios = %d with %d names", code, len(scenarios))
+	scenarios, err := cl.Scenarios(ctx)
+	if err != nil || len(scenarios) == 0 {
+		t.Fatalf("scenarios = %d names / %v", len(scenarios), err)
 	}
 
 	// The mixed fixture through the cluster: V100 and P100 rows split
 	// across the two workers by rendezvous hashing, the duplicate
-	// DLRM_DDP/V100 row served from a result cache.
+	// DLRM_DDP/V100 row served from a result cache. The coordinator's
+	// report nests calibrations per worker, so it decodes through
+	// PredictBatchInto rather than the worker-shaped PredictBatch.
 	fixture, err := os.ReadFile(filepath.Join("testdata", "cluster_requests.json"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := client.Post(coord.base()+"/v1/predict/batch", "application/json", bytes.NewReader(fixture))
-	if err != nil {
+	var reqs []serve.Request
+	if err := json.Unmarshal(fixture, &reqs); err != nil {
 		t.Fatal(err)
-	}
-	repData, err := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("batch = %d: %s", resp.StatusCode, repData)
 	}
 	var rep cluster.Report
-	if err := json.Unmarshal(repData, &rep); err != nil {
-		t.Fatal(err)
+	if err := cl.PredictBatchInto(ctx, reqs, &rep); err != nil {
+		t.Fatalf("batch: %v\ncoordinator tail:\n%s", err, coord.tail())
 	}
 	if rep.Requests != 4 || rep.Failed != 0 {
-		t.Fatalf("fixture report = %d requests / %d failed, want 4/0: %s", rep.Requests, rep.Failed, repData)
+		t.Fatalf("fixture report = %d requests / %d failed, want 4/0: %+v", rep.Requests, rep.Failed, rep)
 	}
 	hit := false
 	for _, row := range rep.Results {
@@ -210,7 +192,7 @@ func TestE2ECluster(t *testing.T) {
 		}
 	}
 	if !hit {
-		t.Fatalf("no cache hit on the duplicate fixture scenario: %s", repData)
+		t.Fatalf("no cache hit on the duplicate fixture scenario: %+v", rep)
 	}
 
 	// Device-affine routing: each device calibrated on exactly one
@@ -235,8 +217,8 @@ func TestE2ECluster(t *testing.T) {
 
 	// Aggregated accounting invariant, cluster-wide, at quiescence.
 	var st cluster.Stats
-	if code := getJSON("/stats", &st); code != http.StatusOK {
-		t.Fatalf("/stats = %d, want 200", code)
+	if err := cl.StatsInto(ctx, &st); err != nil {
+		t.Fatal(err)
 	}
 	if got := st.Accounted(); got != st.Requests {
 		t.Fatalf("cluster stats invariant broken: hits %d + misses %d + rejected %d = %d, requests %d\n%s",
@@ -261,31 +243,15 @@ func TestE2ECluster(t *testing.T) {
 	}
 	victim.waitExit(t, 30*time.Second) // SIGKILL: exit error expected, just reap it
 
-	resp, err = client.Post(coord.base()+"/v1/predict", "application/json",
-		strings.NewReader(`{"workload":"DLRM_DDP","batch":2048,"device":"V100"}`))
+	row, err := cl.Predict(ctx, serve.Request{Workload: "DLRM_DDP", Batch: 2048, Device: "V100"})
 	if err != nil {
-		t.Fatal(err)
-	}
-	rowData, err := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("failover predict = %d: %s\ncoordinator tail:\n%s", resp.StatusCode, rowData, coord.tail())
-	}
-	var row struct {
-		E2EUs float64 `json:"e2e_us"`
-		Error string  `json:"error"`
-	}
-	if err := json.Unmarshal(rowData, &row); err != nil {
-		t.Fatal(err)
+		t.Fatalf("failover predict: %v\ncoordinator tail:\n%s", err, coord.tail())
 	}
 	if row.Error != "" || row.E2EUs <= 0 {
-		t.Fatalf("failover row = %s, want a served prediction", rowData)
+		t.Fatalf("failover row = %+v, want a served prediction", row)
 	}
-	if code := getJSON("/stats", &st); code != http.StatusOK {
-		t.Fatalf("/stats = %d, want 200", code)
+	if err := cl.StatsInto(ctx, &st); err != nil {
+		t.Fatal(err)
 	}
 	if st.Rejected.WorkerFailed == 0 {
 		t.Fatalf("worker_failed = 0 after killing the V100 owner:\n%s", coord.tail())

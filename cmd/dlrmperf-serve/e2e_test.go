@@ -3,9 +3,9 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
-	"io"
-	"net/http"
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -16,17 +16,18 @@ import (
 	"testing"
 	"time"
 
+	"dlrmperf/internal/client"
 	"dlrmperf/internal/serve"
 )
 
 // TestE2EHTTPServe is the end-to-end smoke CI runs instead of the old
 // grep-based report checks: it builds the real binary, starts
 // `dlrmperf-serve -listen` on an ephemeral port, serves the checked-in
-// mixed single/multi-GPU fixture over HTTP with a result-cache hit on
-// the duplicate scenario, provokes 429 backpressure on the 1-deep
-// admission queue, verifies the /stats accounting invariant and
-// /healthz, and finally SIGTERMs the process expecting a clean drain
-// (exit 0) with assets re-saved.
+// mixed single/multi-GPU fixture over the typed client with a
+// result-cache hit on the duplicate scenario, provokes 429
+// backpressure on the 1-deep admission queue, verifies the /stats
+// accounting invariant and /healthz, and finally SIGTERMs the process
+// expecting a clean drain (exit 0) with assets re-saved.
 func TestE2EHTTPServe(t *testing.T) {
 	if runtime.GOOS == "windows" {
 		t.Skip("drains via SIGTERM; not exercised on windows")
@@ -92,60 +93,35 @@ func TestE2EHTTPServe(t *testing.T) {
 		t.Fatalf("server never announced its address; stderr:\n%s", tail())
 	}
 
-	client := &http.Client{Timeout: 2 * time.Minute}
-	getJSON := func(path string, v any) int {
-		t.Helper()
-		resp, err := client.Get(base + path)
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer resp.Body.Close()
-		data, err := io.ReadAll(resp.Body)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if v != nil {
-			if err := json.Unmarshal(data, v); err != nil {
-				t.Fatalf("parsing %s response %q: %v", path, data, err)
-			}
-		}
-		return resp.StatusCode
-	}
+	ctx := context.Background()
+	cl := client.New(base)
 
 	// Liveness before any traffic.
-	if code := getJSON("/healthz", nil); code != http.StatusOK {
-		t.Fatalf("/healthz = %d, want 200", code)
+	if h, err := cl.Healthz(ctx); err != nil || h.Status != "ok" {
+		t.Fatalf("healthz = %+v / %v, want ok", h, err)
 	}
-	var scenarios []string
-	if code := getJSON("/v1/scenarios", &scenarios); code != http.StatusOK || len(scenarios) == 0 {
-		t.Fatalf("/v1/scenarios = %d with %d names", code, len(scenarios))
+	scenarios, err := cl.Scenarios(ctx)
+	if err != nil || len(scenarios) == 0 {
+		t.Fatalf("scenarios = %d names / %v", len(scenarios), err)
 	}
 
-	// The checked-in fixture over HTTP: the batch endpoint blocks for
-	// admission (no 429s even on a 1-deep queue) and the duplicate
+	// The checked-in fixture over the client: the batch endpoint blocks
+	// for admission (no 429s even on a 1-deep queue) and the duplicate
 	// scenario is served from the result cache.
 	fixture, err := os.ReadFile(filepath.Join("testdata", "requests.json"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := client.Post(base+"/v1/predict/batch", "application/json", bytes.NewReader(fixture))
+	var reqs []serve.Request
+	if err := json.Unmarshal(fixture, &reqs); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cl.PredictBatch(ctx, reqs)
 	if err != nil {
-		t.Fatal(err)
-	}
-	repData, err := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("batch = %d: %s", resp.StatusCode, repData)
-	}
-	var rep serve.Report
-	if err := json.Unmarshal(repData, &rep); err != nil {
-		t.Fatal(err)
+		t.Fatalf("batch: %v\nstderr:\n%s", err, tail())
 	}
 	if rep.Requests != 3 || rep.Failed != 0 {
-		t.Fatalf("fixture report = %d requests / %d failed, want 3/0: %s", rep.Requests, rep.Failed, repData)
+		t.Fatalf("fixture report = %d requests / %d failed, want 3/0: %+v", rep.Requests, rep.Failed, rep)
 	}
 	hit := false
 	for _, row := range rep.Results {
@@ -154,64 +130,47 @@ func TestE2EHTTPServe(t *testing.T) {
 		}
 	}
 	if !hit {
-		t.Fatalf("no cache hit on the duplicate fixture scenario: %s", repData)
+		t.Fatalf("no cache hit on the duplicate fixture scenario: %+v", rep)
 	}
 
 	// A repeat over the single-predict endpoint is a cache hit too.
-	resp, err = client.Post(base+"/v1/predict", "application/json",
-		strings.NewReader(`{"workload":"DLRM_DDP","batch":512,"device":"V100"}`))
-	if err != nil {
-		t.Fatal(err)
-	}
-	var row serve.Result
-	if err := json.NewDecoder(resp.Body).Decode(&row); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK || !row.CacheHit || row.Error != "" {
-		t.Fatalf("repeat predict = %d, row %+v; want 200 with a cache hit", resp.StatusCode, row)
+	row, err := cl.Predict(ctx, serve.Request{Workload: "DLRM_DDP", Batch: 512, Device: "V100"})
+	if err != nil || !row.CacheHit || row.Error != "" {
+		t.Fatalf("repeat predict = %+v / %v; want a cache hit", row, err)
 	}
 
 	// Backpressure: P100 is cold, so its first request parks the single
 	// worker in calibration while the 1-deep queue fills; concurrent
-	// singles must shed with 429 + Retry-After.
+	// singles must shed as *ErrBackpressure with a Retry-After hint.
 	const burst = 6
-	codes := make([]int, burst)
-	retryAfter := make([]string, burst)
+	errs := make([]error, burst)
 	var wg sync.WaitGroup
 	for i := 0; i < burst; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			resp, err := client.Post(base+"/v1/predict", "application/json",
-				strings.NewReader(`{"workload":"DLRM_default","batch":512,"device":"P100"}`))
-			if err != nil {
-				return
-			}
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-			codes[i] = resp.StatusCode
-			retryAfter[i] = resp.Header.Get("Retry-After")
+			_, errs[i] = cl.Predict(ctx, serve.Request{Workload: "DLRM_default", Batch: 512, Device: "P100"})
 		}(i)
 	}
 	wg.Wait()
 	got429 := 0
-	for i, c := range codes {
-		if c == http.StatusTooManyRequests {
+	for _, err := range errs {
+		var bp *client.ErrBackpressure
+		if errors.As(err, &bp) {
 			got429++
-			if retryAfter[i] == "" {
-				t.Error("429 without a Retry-After header")
+			if bp.RetryAfter <= 0 {
+				t.Errorf("backpressure without a Retry-After hint: %v", bp)
 			}
 		}
 	}
 	if got429 == 0 {
-		t.Fatalf("no 429 in a %d-request burst against a busy 1-deep queue: codes %v", burst, codes)
+		t.Fatalf("no backpressure in a %d-request burst against a busy 1-deep queue: %v", burst, errs)
 	}
 
 	// Accounting invariant over everything served so far.
-	var st serve.Stats
-	if code := getJSON("/stats", &st); code != http.StatusOK {
-		t.Fatalf("/stats = %d, want 200", code)
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
 	}
 	if got := st.Cache.Hits + st.Cache.Misses + st.Rejected.Total(); got != st.Requests {
 		t.Fatalf("stats invariant broken: hits %d + misses %d + rejected %d = %d, requests %d\n%+v",

@@ -1,28 +1,26 @@
 package main
 
 import (
-	"bytes"
-	"encoding/json"
-	"io"
-	"net/http"
+	"context"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"runtime"
 	"testing"
-	"time"
 
+	"dlrmperf/internal/client"
 	"dlrmperf/internal/cluster"
 	"dlrmperf/internal/explore"
 )
 
 // TestE2EExploreCluster is the cross-process design-space-exploration
 // end-to-end: 1 coordinator + 2 self-registering fast-calib workers,
-// the same grid POSTed to the coordinator's /v1/explore twice. The
-// cold pass fans the unique configurations across the cluster with
-// device-affine routing (each device calibrated on exactly one
-// worker); the warm pass is served from caches at a hit rate ≥ 0.9;
-// the aggregated /stats invariant holds throughout.
+// the same grid swept through the coordinator's /v1/explore twice via
+// the typed client. The cold pass fans the unique configurations
+// across the cluster with device-affine routing (each device
+// calibrated on exactly one worker); the warm pass is served from
+// caches at a hit rate ≥ 0.9; the aggregated /stats invariant holds
+// throughout.
 func TestE2EExploreCluster(t *testing.T) {
 	if runtime.GOOS == "windows" {
 		t.Skip("process harness assumes unix signals")
@@ -43,56 +41,27 @@ func TestE2EExploreCluster(t *testing.T) {
 		"-listen", "127.0.0.1:0", "-fast-calib",
 		"-register", coord.base(), "-heartbeat", "200ms")
 
-	client := &http.Client{Timeout: 5 * time.Minute}
-	deadline := time.Now().Add(30 * time.Second)
-	for {
-		resp, err := client.Get(coord.base() + "/healthz")
-		var health struct {
-			Workers int `json:"workers"`
-		}
-		if err == nil {
-			ok := resp.StatusCode == http.StatusOK &&
-				json.NewDecoder(resp.Body).Decode(&health) == nil && health.Workers == 2
-			resp.Body.Close()
-			if ok {
-				break
-			}
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("workers never registered; coordinator tail:\n%s", coord.tail())
-		}
-		time.Sleep(100 * time.Millisecond)
-	}
+	ctx := context.Background()
+	cl := client.New(coord.base())
+	waitForWorkers(t, cl, coord, 2)
 
-	grid := []byte(`{
-		"scenarios": ["dlrm-default", "dlrm-ddp"],
-		"devices": ["V100", "P100"],
-		"gpus": [1, 2],
-		"batches": [512]
-	}`)
+	grid := explore.Grid{
+		Scenarios: []string{"dlrm-default", "dlrm-ddp"},
+		Devices:   []string{"V100", "P100"},
+		GPUs:      []int{1, 2},
+		Batches:   []int64{512},
+	}
 	sweep := func(pass string) *explore.Report {
 		t.Helper()
-		resp, err := client.Post(coord.base()+"/v1/explore", "application/json", bytes.NewReader(grid))
+		rep, err := cl.Explore(ctx, grid)
 		if err != nil {
 			t.Fatalf("%s sweep: %v\ncoordinator tail:\n%s", pass, err, coord.tail())
-		}
-		data, err := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if err != nil {
-			t.Fatal(err)
-		}
-		if resp.StatusCode != http.StatusOK {
-			t.Fatalf("%s sweep = %d: %s\ncoordinator tail:\n%s", pass, resp.StatusCode, data, coord.tail())
-		}
-		var rep explore.Report
-		if err := json.Unmarshal(data, &rep); err != nil {
-			t.Fatalf("parsing %s sweep report %q: %v", pass, data, err)
 		}
 		if rep.GridPoints != 8 || rep.Unique != 8 || rep.Failed != 0 {
 			t.Fatalf("%s sweep coverage = %d points / %d unique / %d failed, want 8/8/0: %+v",
 				pass, rep.GridPoints, rep.Unique, rep.Failed, rep.FailedSamples)
 		}
-		return &rep
+		return rep
 	}
 
 	cold := sweep("cold")
@@ -103,13 +72,7 @@ func TestE2EExploreCluster(t *testing.T) {
 	// Device-affine fan-out: each device's configurations landed on —
 	// and calibrated — exactly one worker.
 	var st cluster.Stats
-	resp, err := client.Get(coord.base() + "/stats")
-	if err != nil {
-		t.Fatal(err)
-	}
-	err = json.NewDecoder(resp.Body).Decode(&st)
-	resp.Body.Close()
-	if err != nil {
+	if err := cl.StatsInto(ctx, &st); err != nil {
 		t.Fatal(err)
 	}
 	owner := map[string]string{}
@@ -137,13 +100,7 @@ func TestE2EExploreCluster(t *testing.T) {
 	if warm.CacheHitRate < 0.9 {
 		t.Fatalf("warm sweep hit rate = %v, want >= 0.9", warm.CacheHitRate)
 	}
-	resp, err = client.Get(coord.base() + "/stats")
-	if err != nil {
-		t.Fatal(err)
-	}
-	err = json.NewDecoder(resp.Body).Decode(&st)
-	resp.Body.Close()
-	if err != nil {
+	if err := cl.StatsInto(ctx, &st); err != nil {
 		t.Fatal(err)
 	}
 	if got := st.Accounted(); got != st.Requests {

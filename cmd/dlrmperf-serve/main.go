@@ -100,7 +100,9 @@ func main() {
 	queueDepth := flag.Int("queue", 64, "admission queue depth; a full queue rejects POST /v1/predict with 429")
 	streamWorkers := flag.Int("stream-workers", 0, "concurrent request executions (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "default per-request deadline (0 = none); a request's timeout_ms can only tighten it")
-	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on 429/503 responses")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After floor on 429/503 responses; the served hint adapts to the observed drain rate")
+	maxRetryAfter := flag.Duration("max-retry-after", 30*time.Second, "ceiling on the adaptive Retry-After hint")
+	tenantQueueCap := flag.Int("tenant-queue-cap", 0, "per-tenant share of the admission queue; a tenant over its cap is rejected tenant_limited (0 = half of -queue)")
 	drainGrace := flag.Duration("drain-grace", 30*time.Second, "HTTP shutdown grace period after SIGTERM")
 	fastCalib := flag.Bool("fast-calib", false, "low-fidelity calibration (eighth-size sweeps, tiny networks) for smoke tests and CI")
 	coordinator := flag.Bool("coordinator", false, "run as a cluster coordinator on -listen, sharding requests across workers instead of serving an engine")
@@ -148,9 +150,11 @@ func main() {
 		SaveAssets: *saveAssets,
 		Stream: serve.Config{
 			QueueDepth:     *queueDepth,
+			TenantQueueCap: *tenantQueueCap,
 			Workers:        *streamWorkers,
 			RequestTimeout: *timeout,
 			RetryAfter:     *retryAfter,
+			MaxRetryAfter:  *maxRetryAfter,
 		},
 		DrainGrace: *drainGrace,
 		Register:   *register,
@@ -354,7 +358,9 @@ func listenAndServe(cfg serveConfig, addr string) error {
 		if advertise == "" {
 			advertise = "http://" + advertiseHostPort(ln, cfg.Register)
 		}
-		stopHeartbeat = cluster.Heartbeat(nil, cfg.Register, advertise, advertise, cfg.Heartbeat)
+		hbCtx, hbCancel := context.WithCancel(context.Background())
+		defer hbCancel()
+		stopHeartbeat = cluster.Heartbeat(hbCtx, nil, cfg.Register, advertise, advertise, cfg.Heartbeat)
 		defer stopHeartbeat()
 		fmt.Fprintf(os.Stderr, "dlrmperf-serve: registering with %s as %s\n", cfg.Register, advertise)
 	}
@@ -397,9 +403,9 @@ func listenAndServe(cfg serveConfig, addr string) error {
 	}
 	st := srv.Stats()
 	fmt.Fprintf(os.Stderr,
-		"dlrmperf-serve: drained; %d requests, cache %d/%d hit/miss, rejected %d validation / %d queue-full / %d draining, canceled %d\n",
+		"dlrmperf-serve: drained; %d requests, cache %d/%d hit/miss, rejected %d validation / %d queue-full / %d tenant-limited / %d draining, canceled %d\n",
 		st.Requests, st.Cache.Hits, st.Cache.Misses,
-		st.Rejected.Validation, st.Rejected.QueueFull, st.Rejected.Draining, st.Canceled)
+		st.Rejected.Validation, st.Rejected.QueueFull, st.Rejected.TenantLimited, st.Rejected.Draining, st.Canceled)
 	return nil
 }
 

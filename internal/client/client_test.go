@@ -1,0 +1,211 @@
+package client
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dlrmperf/internal/serve"
+)
+
+import "context"
+
+// stub builds a one-endpoint server answering with a fixed status,
+// optional Retry-After, and a JSON body.
+func stub(t *testing.T, status int, retryAfter string, body any) *Client {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if retryAfter != "" {
+			w.Header().Set("Retry-After", retryAfter)
+		}
+		serve.WriteJSON(w, status, body)
+	}))
+	t.Cleanup(ts.Close)
+	return New(ts.URL)
+}
+
+// TestErrorTaxonomy pins the status+code -> typed error mapping, and
+// that every specialized error also unwraps to *APIError.
+func TestErrorTaxonomy(t *testing.T) {
+	ctx := context.Background()
+	t.Run("backpressure", func(t *testing.T) {
+		cl := stub(t, http.StatusTooManyRequests, "7", serve.HTTPError{Code: "queue_full", Message: "busy"})
+		_, err := cl.Predict(ctx, serve.Request{Workload: "w"})
+		var bp *ErrBackpressure
+		if !errors.As(err, &bp) || bp.RetryAfter != 7*time.Second || bp.Code != "queue_full" {
+			t.Fatalf("err = %v, want ErrBackpressure queue_full with 7s", err)
+		}
+	})
+	t.Run("tenant-limited is backpressure", func(t *testing.T) {
+		cl := stub(t, http.StatusTooManyRequests, "2", serve.HTTPError{Code: "tenant_limited", Message: "share exhausted"})
+		_, err := cl.Predict(ctx, serve.Request{Workload: "w"})
+		var bp *ErrBackpressure
+		if !errors.As(err, &bp) || bp.Code != "tenant_limited" || bp.RetryAfter != 2*time.Second {
+			t.Fatalf("err = %v, want tenant_limited backpressure", err)
+		}
+	})
+	t.Run("draining", func(t *testing.T) {
+		cl := stub(t, http.StatusServiceUnavailable, "1", serve.HTTPError{Code: "draining", Message: "bye"})
+		_, err := cl.Predict(ctx, serve.Request{Workload: "w"})
+		var dr *ErrDraining
+		if !errors.As(err, &dr) || dr.RetryAfter != time.Second {
+			t.Fatalf("err = %v, want ErrDraining with 1s", err)
+		}
+	})
+	t.Run("no-workers", func(t *testing.T) {
+		cl := stub(t, http.StatusServiceUnavailable, "", serve.HTTPError{Code: "no_workers", Message: "none"})
+		_, err := cl.Predict(ctx, serve.Request{Workload: "w"})
+		var nw *ErrNoWorkers
+		if !errors.As(err, &nw) {
+			t.Fatalf("err = %v, want ErrNoWorkers", err)
+		}
+	})
+	t.Run("worker-failed", func(t *testing.T) {
+		cl := stub(t, http.StatusBadGateway, "", serve.HTTPError{Code: "worker_failed", Message: "dead"})
+		_, err := cl.Predict(ctx, serve.Request{Workload: "w"})
+		var wf *ErrWorkerFailed
+		if !errors.As(err, &wf) || wf.Message != "dead" {
+			t.Fatalf("err = %v, want ErrWorkerFailed", err)
+		}
+	})
+	t.Run("generic 400", func(t *testing.T) {
+		cl := stub(t, http.StatusBadRequest, "", serve.HTTPError{Code: "bad_priority", Message: "nope"})
+		_, err := cl.Predict(ctx, serve.Request{Workload: "w"})
+		var api *APIError
+		if !errors.As(err, &api) || api.Code != "bad_priority" || api.Status != http.StatusBadRequest {
+			t.Fatalf("err = %v, want plain *APIError bad_priority", err)
+		}
+		// None of the specialized types match a plain 400.
+		var bp *ErrBackpressure
+		var dr *ErrDraining
+		if errors.As(err, &bp) || errors.As(err, &dr) {
+			t.Fatalf("400 matched a specialized error type: %v", err)
+		}
+	})
+	t.Run("every typed error unwraps to APIError", func(t *testing.T) {
+		for _, err := range []error{
+			&ErrBackpressure{APIError: APIError{Status: 429}},
+			&ErrDraining{APIError: APIError{Status: 503}},
+			&ErrNoWorkers{APIError: APIError{Status: 503}},
+			&ErrWorkerFailed{APIError: APIError{Status: 502}},
+		} {
+			var api *APIError
+			if !errors.As(err, &api) {
+				t.Errorf("%T does not unwrap to *APIError", err)
+			}
+		}
+	})
+}
+
+// TestNonEnvelopeErrorBody: a non-JSON error body still produces a
+// usable *APIError with code "unknown" and a bounded raw snippet.
+func TestNonEnvelopeErrorBody(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+		w.Write([]byte("<html>panic</html>" + strings.Repeat("x", 1024)))
+	}))
+	t.Cleanup(ts.Close)
+	_, err := New(ts.URL).Predict(context.Background(), serve.Request{Workload: "w"})
+	var api *APIError
+	if !errors.As(err, &api) || api.Code != "unknown" || api.Status != http.StatusInternalServerError {
+		t.Fatalf("err = %v, want unknown-code *APIError", err)
+	}
+	if len(api.Message) > 256 {
+		t.Fatalf("raw snippet not bounded: %d bytes", len(api.Message))
+	}
+}
+
+// TestHealthzBothStates: 200 ok and 503 draining both decode without
+// error — draining is a reportable state, not a failure.
+func TestHealthzBothStates(t *testing.T) {
+	ctx := context.Background()
+	if h, err := stub(t, http.StatusOK, "", map[string]any{"status": "ok", "workers": 3}).Healthz(ctx); err != nil || h.Status != "ok" || h.Workers != 3 {
+		t.Fatalf("healthy = %+v / %v", h, err)
+	}
+	if h, err := stub(t, http.StatusServiceUnavailable, "", map[string]any{"status": "draining"}).Healthz(ctx); err != nil || h.Status != "draining" {
+		t.Fatalf("draining = %+v / %v", h, err)
+	}
+}
+
+// TestBodySizeLimit: a response past the configured cap is truncated at
+// the limit, so a misbehaving server yields a parse error instead of
+// unbounded memory growth.
+func TestBodySizeLimit(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte(`{"error":"` + strings.Repeat("x", 4096) + `"}`))
+	}))
+	t.Cleanup(ts.Close)
+	cl := New(ts.URL, WithMaxBodyBytes(64))
+	if _, err := cl.Stats(context.Background()); err == nil {
+		t.Fatal("oversized body parsed cleanly, want a truncation parse error")
+	}
+}
+
+// TestParseRetryAfter covers the header forms this surface can emit.
+func TestParseRetryAfter(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want time.Duration
+	}{
+		{"7", 7 * time.Second},
+		{"0", 0},
+		{"", 0},
+		{"-3", 0},
+		{"Wed, 21 Oct 2015 07:28:00 GMT", 0}, // date form unsupported by design
+	} {
+		h := http.Header{}
+		if tc.in != "" {
+			h.Set("Retry-After", tc.in)
+		}
+		if got := parseRetryAfter(h); got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestTransportErrorIsNotAPIError: a dead socket surfaces as the
+// transport error, not as a server rejection.
+func TestTransportErrorIsNotAPIError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {}))
+	ts.Close() // dead before use
+	_, err := New(ts.URL).Predict(context.Background(), serve.Request{Workload: "w"})
+	if err == nil {
+		t.Fatal("predict against a closed server succeeded")
+	}
+	var api *APIError
+	if errors.As(err, &api) {
+		t.Fatalf("transport failure decoded as *APIError: %v", err)
+	}
+}
+
+// TestRegisterAndDrainPaths: the control-plane helpers hit the right
+// endpoints with the right payloads.
+func TestRegisterAndDrainPaths(t *testing.T) {
+	var gotPath, gotBody string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotPath = r.URL.Path
+		buf := make([]byte, 256)
+		n, _ := r.Body.Read(buf)
+		gotBody = string(buf[:n])
+		serve.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	}))
+	t.Cleanup(ts.Close)
+	cl := New(ts.URL)
+	ctx := context.Background()
+
+	if err := cl.Register(ctx, "w1", "http://worker:8080"); err != nil {
+		t.Fatal(err)
+	}
+	if gotPath != "/v1/workers/register" || !strings.Contains(gotBody, `"id":"w1"`) || !strings.Contains(gotBody, `"url":"http://worker:8080"`) {
+		t.Fatalf("register hit %s with %s", gotPath, gotBody)
+	}
+	if err := cl.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if gotPath != "/v1/drain" {
+		t.Fatalf("drain hit %s", gotPath)
+	}
+}

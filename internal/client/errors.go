@@ -1,0 +1,100 @@
+package client
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"dlrmperf/internal/serve"
+)
+
+// APIError is any non-2xx response from the serving surface, carrying
+// the decoded serve.HTTPError envelope. The specialized error types
+// below embed it, so errors.As(err, *APIError) matches every server
+// rejection while the concrete types select the actionable cases.
+type APIError struct {
+	Status  int
+	Code    string
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: server status %d (%s): %s", e.Status, e.Code, e.Message)
+}
+
+// ErrBackpressure is a 429: the server (or the worker behind a
+// coordinator) asked the caller to slow down. RetryAfter carries the
+// server's hint; 0 means the server sent none. Code distinguishes
+// queue_full (global capacity) from tenant_limited (the caller's own
+// tenant exhausted its fair share).
+type ErrBackpressure struct {
+	APIError
+	RetryAfter time.Duration
+}
+
+func (e *ErrBackpressure) Error() string {
+	return fmt.Sprintf("client: backpressure (%s), retry after %s", e.Code, e.RetryAfter)
+}
+
+func (e *ErrBackpressure) Unwrap() error { return &e.APIError }
+
+// ErrDraining is a 503 code "draining": the server is shutting down
+// gracefully and sheds new admissions. RetryAfter carries the hint for
+// retrying against a replacement (0 when the server sent none).
+type ErrDraining struct {
+	APIError
+	RetryAfter time.Duration
+}
+
+func (e *ErrDraining) Error() string { return "client: server draining" }
+
+func (e *ErrDraining) Unwrap() error { return &e.APIError }
+
+// ErrNoWorkers is a coordinator 503 code "no_workers": zero live
+// workers were registered when the request arrived.
+type ErrNoWorkers struct {
+	APIError
+	RetryAfter time.Duration
+}
+
+func (e *ErrNoWorkers) Error() string { return "client: cluster has no live workers" }
+
+func (e *ErrNoWorkers) Unwrap() error { return &e.APIError }
+
+// ErrWorkerFailed is a coordinator 502 code "worker_failed": routing
+// exhausted its attempts (the ranked worker and one retry both died).
+type ErrWorkerFailed struct{ APIError }
+
+func (e *ErrWorkerFailed) Error() string {
+	return fmt.Sprintf("client: routing failed: %s", e.Message)
+}
+
+func (e *ErrWorkerFailed) Unwrap() error { return &e.APIError }
+
+// decodeError maps one non-200 response onto the typed error taxonomy.
+// A body that isn't the HTTPError envelope still produces a usable
+// error with the raw snippet as the message.
+func decodeError(resp *http.Response, body []byte) error {
+	var he serve.HTTPError
+	if err := json.Unmarshal(body, &he); err != nil || he.Code == "" {
+		he.Code = "unknown"
+		msg := string(body)
+		if len(msg) > 256 {
+			msg = msg[:256]
+		}
+		he.Message = msg
+	}
+	api := APIError{Status: resp.StatusCode, Code: he.Code, Message: he.Message}
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		return &ErrBackpressure{APIError: api, RetryAfter: parseRetryAfter(resp.Header)}
+	case resp.StatusCode == http.StatusServiceUnavailable && he.Code == "draining":
+		return &ErrDraining{APIError: api, RetryAfter: parseRetryAfter(resp.Header)}
+	case resp.StatusCode == http.StatusServiceUnavailable && he.Code == "no_workers":
+		return &ErrNoWorkers{APIError: api, RetryAfter: parseRetryAfter(resp.Header)}
+	case resp.StatusCode == http.StatusBadGateway && he.Code == "worker_failed":
+		return &ErrWorkerFailed{APIError: api}
+	}
+	return &api
+}

@@ -1,0 +1,11 @@
+package client
+
+import (
+	"testing"
+
+	"dlrmperf/internal/leakcheck"
+)
+
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}

@@ -20,19 +20,19 @@
 package cluster
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"dlrmperf"
+	"dlrmperf/internal/client"
 	"dlrmperf/internal/serve"
 	"dlrmperf/internal/xsync"
 )
@@ -282,18 +282,23 @@ func (c *Coordinator) forward(ctx context.Context, req serve.Request, blocking b
 	return serve.Result{}, &RouteError{Attempts: maxAttempts, Err: lastErr}
 }
 
-// call performs one worker HTTP attempt.
+// workerClient wraps one worker URL in the typed client, sharing the
+// coordinator's transport. Construction is a tiny struct fill — the
+// network round trip it fronts dwarfs it — so per-call construction
+// beats a URL-keyed cache.
+func (c *Coordinator) workerClient(url string) *client.Client {
+	return client.New(url, client.WithHTTPClient(c.cfg.Client))
+}
+
+// call performs one worker attempt through the typed client.
 func (c *Coordinator) call(ctx context.Context, w Worker, req serve.Request, blocking bool) (serve.Result, error) {
+	cl := c.workerClient(w.URL)
 	if blocking {
 		// A 1-row batch rides the worker's BLOCKING admission path:
 		// batch rows must apply backpressure by waiting, never shed.
-		rep, err := c.post(ctx, w.URL+"/v1/predict/batch", []serve.Request{req})
+		out, err := cl.PredictBatch(ctx, []serve.Request{req})
 		if err != nil {
 			return serve.Result{}, err
-		}
-		var out serve.Report
-		if err := json.Unmarshal(rep, &out); err != nil {
-			return serve.Result{}, fmt.Errorf("parsing worker batch report: %w", err)
 		}
 		if len(out.Results) != 1 {
 			return serve.Result{}, fmt.Errorf("worker batch report has %d rows, want 1", len(out.Results))
@@ -310,62 +315,22 @@ func (c *Coordinator) call(ctx context.Context, w Worker, req serve.Request, blo
 		}
 		return row, nil
 	}
-	body, err := json.Marshal(req)
+	row, err := cl.Predict(ctx, req)
 	if err != nil {
-		return serve.Result{}, err
-	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, w.URL+"/v1/predict", bytes.NewReader(body))
-	if err != nil {
-		return serve.Result{}, err
-	}
-	hreq.Header.Set("Content-Type", "application/json")
-	resp, err := c.cfg.Client.Do(hreq)
-	if err != nil {
-		return serve.Result{}, err
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return serve.Result{}, err
-	}
-	switch resp.StatusCode {
-	case http.StatusOK:
-		var row serve.Result
-		if err := json.Unmarshal(data, &row); err != nil {
-			return serve.Result{}, fmt.Errorf("parsing worker row: %w", err)
+		var bp *client.ErrBackpressure
+		if errors.As(err, &bp) {
+			ra := ""
+			if bp.RetryAfter > 0 {
+				ra = strconv.Itoa(int(bp.RetryAfter / time.Second))
+			}
+			return serve.Result{}, &BackpressureError{RetryAfter: ra}
 		}
-		return row, nil
-	case http.StatusTooManyRequests:
-		return serve.Result{}, &BackpressureError{RetryAfter: resp.Header.Get("Retry-After")}
-	default:
-		return serve.Result{}, fmt.Errorf("worker status %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+		// Every other typed client error — a worker 503 while draining
+		// included — is a routing failure the forward loop fails over
+		// from, same as a dead socket.
+		return serve.Result{}, err
 	}
-}
-
-// post marshals v to one worker endpoint and returns the body of a 200.
-func (c *Coordinator) post(ctx context.Context, url string, v any) ([]byte, error) {
-	body, err := json.Marshal(v)
-	if err != nil {
-		return nil, err
-	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	hreq.Header.Set("Content-Type", "application/json")
-	resp, err := c.cfg.Client.Do(hreq)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(data))
-	}
-	return data, nil
+	return row, nil
 }
 
 // RunBatch routes a request list across the cluster (bounded fan-out,
@@ -475,28 +440,8 @@ func (c *Coordinator) workerStatus(ctx context.Context, info WorkerInfo) WorkerS
 	}
 	sctx, cancel := context.WithTimeout(ctx, c.cfg.StatsTimeout)
 	defer cancel()
-	hreq, err := http.NewRequestWithContext(sctx, http.MethodGet, info.URL+"/stats", nil)
+	st, err := c.workerClient(info.URL).Stats(sctx)
 	if err != nil {
-		ws.StatsError = err.Error()
-		return ws
-	}
-	resp, err := c.cfg.Client.Do(hreq)
-	if err != nil {
-		ws.StatsError = err.Error()
-		return ws
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		ws.StatsError = err.Error()
-		return ws
-	}
-	if resp.StatusCode != http.StatusOK {
-		ws.StatsError = fmt.Sprintf("status %d", resp.StatusCode)
-		return ws
-	}
-	var st serve.Stats
-	if err := json.Unmarshal(data, &st); err != nil {
 		ws.StatsError = err.Error()
 		return ws
 	}
@@ -530,14 +475,7 @@ func (c *Coordinator) Drain(propagate bool) {
 			//lint:allow ctxflow deliberately detached: drain pushes must outlive the dying caller's ctx, bounded by StatsTimeout
 			ctx, cancel := context.WithTimeout(context.Background(), c.cfg.StatsTimeout)
 			defer cancel()
-			hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, w.URL+"/v1/drain", nil)
-			if err != nil {
-				return
-			}
-			if resp, err := c.cfg.Client.Do(hreq); err == nil {
-				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-			}
+			_ = c.workerClient(w.URL).Drain(ctx) // best-effort push
 		}(w)
 	}
 	wg.Wait()
@@ -649,27 +587,22 @@ func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 // Heartbeat self-registers a worker with a coordinator immediately and
 // then every interval, keeping it inside the registry's liveness
 // window, until the returned stop function is called (idempotent,
-// waits for the loop to exit). Registration failures are retried on
-// the next tick — a coordinator restart heals itself.
-func Heartbeat(client *http.Client, coordinatorURL, id, selfURL string, interval time.Duration) (stop func()) {
-	if client == nil {
-		client = &http.Client{Timeout: 5 * time.Second}
+// waits for the loop to exit) or ctx is canceled. Registration
+// failures are retried on the next tick — a coordinator restart heals
+// itself. A nil hc uses a 5s-bounded default (a beat must never hang
+// past its own interval for long).
+func Heartbeat(ctx context.Context, hc *http.Client, coordinatorURL, id, selfURL string, interval time.Duration) (stop func()) {
+	if hc == nil {
+		hc = &http.Client{Timeout: 5 * time.Second}
 	}
 	if interval <= 0 {
 		interval = 2 * time.Second
 	}
+	cl := client.New(coordinatorURL, client.WithHTTPClient(hc))
 	done := make(chan struct{})
 	exited := make(chan struct{})
 	beat := func() {
-		body, err := json.Marshal(Registration{ID: id, URL: selfURL})
-		if err != nil {
-			return
-		}
-		resp, err := client.Post(coordinatorURL+"/v1/workers/register", "application/json", bytes.NewReader(body))
-		if err == nil {
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-		}
+		_ = cl.Register(ctx, id, selfURL) // best-effort; retried next tick
 	}
 	go func() {
 		defer close(exited)
@@ -679,6 +612,8 @@ func Heartbeat(client *http.Client, coordinatorURL, id, selfURL string, interval
 		for {
 			select {
 			case <-done:
+				return
+			case <-ctx.Done():
 				return
 			case <-t.C:
 				beat()

@@ -7,13 +7,13 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"dlrmperf"
+	"dlrmperf/internal/client"
 	"dlrmperf/internal/serve"
 )
 
@@ -314,7 +314,7 @@ func TestRegisterAndHeartbeat(t *testing.T) {
 	defer ts.Close()
 
 	fw := newFakeWorker(t)
-	stop := Heartbeat(nil, ts.URL, fw.id, fw.srv.URL, 50*time.Millisecond)
+	stop := Heartbeat(context.Background(), nil, ts.URL, fw.id, fw.srv.URL, 50*time.Millisecond)
 	defer stop()
 
 	deadline := time.Now().Add(5 * time.Second)
@@ -373,21 +373,13 @@ func TestDrainPropagation(t *testing.T) {
 
 	ts := httptest.NewServer(coord.Handler())
 	defer ts.Close()
-	resp, err := http.Get(ts.URL + "/healthz")
-	if err != nil {
-		t.Fatal(err)
+	cl := client.New(ts.URL)
+	if h, err := cl.Healthz(context.Background()); err != nil || h.Status != "draining" {
+		t.Fatalf("healthz while draining = %+v / %v, want status draining", h, err)
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("healthz while draining = %d, want 503", resp.StatusCode)
-	}
-	resp, err = http.Post(ts.URL+"/v1/predict", "application/json", strings.NewReader(`{"workload":"w","device":"V100"}`))
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
-		t.Fatalf("predict while draining = %d (Retry-After %q), want 503 with hint", resp.StatusCode, resp.Header.Get("Retry-After"))
+	var dr *client.ErrDraining
+	if _, err := cl.Predict(context.Background(), req("V100", "w", 512)); !errors.As(err, &dr) || dr.RetryAfter <= 0 {
+		t.Fatalf("predict while draining: err = %v, want ErrDraining with a Retry-After hint", err)
 	}
 	st := coord.Stats(context.Background())
 	if st.Rejected.Draining != 2 {
@@ -420,13 +412,9 @@ func TestBackpressurePassThrough(t *testing.T) {
 
 	ts := httptest.NewServer(coord.Handler())
 	defer ts.Close()
-	resp, err := http.Post(ts.URL+"/v1/predict", "application/json", strings.NewReader(`{"workload":"w","device":"V100"}`))
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusTooManyRequests || resp.Header.Get("Retry-After") != "7" {
-		t.Fatalf("predict = %d (Retry-After %q), want 429 with the worker's hint", resp.StatusCode, resp.Header.Get("Retry-After"))
+	var tbp *client.ErrBackpressure
+	if _, err := client.New(ts.URL).Predict(context.Background(), req("V100", "w", 512)); !errors.As(err, &tbp) || tbp.RetryAfter != 7*time.Second {
+		t.Fatalf("predict over HTTP: err = %v, want typed 429 carrying the worker's 7s hint", err)
 	}
 	st := coord.Stats(context.Background())
 	if st.Rejected.WorkerFailed != 0 {
@@ -446,18 +434,12 @@ func TestBatchFanOut(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		reqs = append(reqs, req(fmt.Sprintf("dev-%d", i%4), "w", int64(512+i)))
 	}
-	body, _ := json.Marshal(reqs)
-	resp, err := http.Post(ts.URL+"/v1/predict/batch", "application/json", strings.NewReader(string(body)))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
 	var rep Report
-	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+	if err := client.New(ts.URL).PredictBatchInto(context.Background(), reqs, &rep); err != nil {
 		t.Fatal(err)
 	}
-	if resp.StatusCode != http.StatusOK || rep.Requests != 8 || rep.Failed != 0 {
-		t.Fatalf("batch = %d, report %d/%d", resp.StatusCode, rep.Requests, rep.Failed)
+	if rep.Requests != 8 || rep.Failed != 0 {
+		t.Fatalf("batch report = %d/%d, want 8 requests, 0 failed", rep.Requests, rep.Failed)
 	}
 	for i, row := range rep.Results {
 		if row.Device != reqs[i].Device || row.Batch != reqs[i].Batch {

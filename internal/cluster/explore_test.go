@@ -1,16 +1,15 @@
 package cluster
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"testing"
 
 	"dlrmperf"
+	"dlrmperf/internal/client"
 	"dlrmperf/internal/explore"
-	"dlrmperf/internal/serve"
 )
 
 // clusterGrid is the coordinator sweep fixture: one workload over two
@@ -105,67 +104,37 @@ func TestClusterExploreHTTP(t *testing.T) {
 	ts := httptest.NewServer(coord.Handler())
 	defer ts.Close()
 
-	gridJSON, err := json.Marshal(clusterGrid())
+	cl := client.New(ts.URL)
+	ctx := context.Background()
+	rep, err := cl.Explore(ctx, clusterGrid())
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := http.Post(ts.URL+"/v1/explore", "application/json", bytes.NewReader(gridJSON))
-	if err != nil {
-		t.Fatal(err)
-	}
-	var rep explore.Report
-	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK || rep.Unique != 4 || rep.Failed != 0 {
-		t.Fatalf("explore status %d, coverage %d unique / %d failed, want 200 with 4/0",
-			resp.StatusCode, rep.Unique, rep.Failed)
+	if rep.Unique != 4 || rep.Failed != 0 {
+		t.Fatalf("explore coverage %d unique / %d failed, want 4/0", rep.Unique, rep.Failed)
 	}
 	if len(rep.Frontier) == 0 {
 		t.Error("report missing frontier")
 	}
 
-	postErr := func(body string) (int, serve.HTTPError) {
-		t.Helper()
-		resp, err := http.Post(ts.URL+"/v1/explore", "application/json", bytes.NewBufferString(body))
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer resp.Body.Close()
-		var he serve.HTTPError
-		json.NewDecoder(resp.Body).Decode(&he)
-		return resp.StatusCode, he
-	}
-	if code, he := postErr(`{"devices": ["V100"]}`); code != http.StatusBadRequest || he.Code != "bad_grid" {
-		t.Errorf("empty grid: %d %q, want 400 bad_grid", code, he.Code)
+	var apiErr *client.APIError
+	if _, err := cl.Explore(ctx, explore.Grid{Devices: []string{"V100"}}); !errors.As(err, &apiErr) ||
+		apiErr.Status != http.StatusBadRequest || apiErr.Code != "bad_grid" {
+		t.Errorf("empty grid: err = %v, want 400 bad_grid", err)
 	}
 
 	small := New(Config{Registry: coord.cfg.Registry, MaxGrid: 2})
 	tsSmall := httptest.NewServer(small.Handler())
 	defer tsSmall.Close()
-	resp2, err := http.Post(tsSmall.URL+"/v1/explore", "application/json", bytes.NewReader(gridJSON))
-	if err != nil {
-		t.Fatal(err)
-	}
-	var he serve.HTTPError
-	json.NewDecoder(resp2.Body).Decode(&he)
-	resp2.Body.Close()
-	if resp2.StatusCode != http.StatusBadRequest || he.Code != "grid_too_large" {
-		t.Errorf("over-budget grid: %d %q, want 400 grid_too_large", resp2.StatusCode, he.Code)
+	if _, err := client.New(tsSmall.URL).Explore(ctx, clusterGrid()); !errors.As(err, &apiErr) ||
+		apiErr.Status != http.StatusBadRequest || apiErr.Code != "grid_too_large" {
+		t.Errorf("over-budget grid: err = %v, want 400 grid_too_large", err)
 	}
 
 	coord.Drain(false)
-	resp3, err := http.Post(ts.URL+"/v1/explore", "application/json", bytes.NewReader(gridJSON))
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp3.Body.Close()
-	if resp3.StatusCode != http.StatusServiceUnavailable {
-		t.Errorf("explore during drain: status %d, want 503", resp3.StatusCode)
-	}
-	if resp3.Header.Get("Retry-After") == "" {
-		t.Error("503 response missing Retry-After")
+	var dr *client.ErrDraining
+	if _, err := cl.Explore(ctx, clusterGrid()); !errors.As(err, &dr) || dr.RetryAfter <= 0 {
+		t.Errorf("explore during drain: err = %v, want ErrDraining with a Retry-After hint", err)
 	}
 }
 

@@ -36,10 +36,11 @@ import (
 // canceled_admissions — see serve.RejectedStats) plus the
 // coordinator's own routing buckets.
 type ClusterRejected struct {
-	Validation uint64 `json:"validation"`
-	QueueFull  uint64 `json:"queue_full"`
-	Draining   uint64 `json:"draining"`
-	Canceled   uint64 `json:"canceled_admissions"`
+	Validation    uint64 `json:"validation"`
+	QueueFull     uint64 `json:"queue_full"`
+	TenantLimited uint64 `json:"tenant_limited"`
+	Draining      uint64 `json:"draining"`
+	Canceled      uint64 `json:"canceled_admissions"`
 	// WorkerFailed counts routing attempts that died on a worker (the
 	// socket broke, or the worker answered 5xx): the fault-injection
 	// signal. Retried requests still count their failed first attempt
@@ -51,7 +52,7 @@ type ClusterRejected struct {
 
 // Total sums every rejection bucket.
 func (r ClusterRejected) Total() uint64 {
-	return r.Validation + r.QueueFull + r.Draining + r.Canceled + r.WorkerFailed + r.NoWorkers
+	return r.Validation + r.QueueFull + r.TenantLimited + r.Draining + r.Canceled + r.WorkerFailed + r.NoWorkers
 }
 
 // CoordinatorStats are the coordinator's own counters, client-facing:
@@ -96,9 +97,14 @@ type Stats struct {
 	// runs: the device-affinity ledger. Under rendezvous routing every
 	// device should appear under exactly one worker.
 	Calibrations map[string]map[string]int `json:"calibrations,omitempty"`
-	Coordinator  CoordinatorStats          `json:"coordinator"`
-	Workers      []WorkerStatus            `json:"workers"`
-	Draining     bool                      `json:"draining"`
+	// Tenants sums the per-tenant admission ledgers across workers.
+	// These are worker-side fair-queue counters: requests answered from
+	// the coordinator's pass-through cache never reach a worker queue
+	// and so appear only in Coordinator.LocalCacheHits.
+	Tenants     map[string]serve.TenantStats `json:"tenants,omitempty"`
+	Coordinator CoordinatorStats             `json:"coordinator"`
+	Workers     []WorkerStatus               `json:"workers"`
+	Draining    bool                         `json:"draining"`
 }
 
 // Accounted sums the terminal buckets; Accounted() <= Requests on
@@ -117,6 +123,7 @@ func (s *Stats) mergeWorker(id string, ws serve.Stats) {
 	s.Cache.Rejected += ws.Cache.Rejected
 	s.Rejected.Validation += ws.Rejected.Validation
 	s.Rejected.QueueFull += ws.Rejected.QueueFull
+	s.Rejected.TenantLimited += ws.Rejected.TenantLimited
 	s.Rejected.Draining += ws.Rejected.Draining
 	s.Rejected.Canceled += ws.Rejected.Canceled
 	s.Served += ws.Served
@@ -128,6 +135,25 @@ func (s *Stats) mergeWorker(id string, ws serve.Stats) {
 			s.Calibrations = map[string]map[string]int{}
 		}
 		s.Calibrations[id] = ws.Calibrations
+	}
+	for name, ts := range ws.Tenants {
+		if s.Tenants == nil {
+			s.Tenants = map[string]serve.TenantStats{}
+		}
+		agg := s.Tenants[name]
+		agg.Requests += ts.Requests
+		agg.Served += ts.Served
+		agg.Shed += ts.Shed
+		agg.Canceled += ts.Canceled
+		agg.Queued += ts.Queued
+		agg.TotalWaitUs += ts.TotalWaitUs
+		if ts.MaxWaitUs > agg.MaxWaitUs {
+			agg.MaxWaitUs = ts.MaxWaitUs
+		}
+		if agg.Served > 0 {
+			agg.AvgWaitUs = float64(agg.TotalWaitUs) / float64(agg.Served)
+		}
+		s.Tenants[name] = agg
 	}
 }
 

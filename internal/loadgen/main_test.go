@@ -1,0 +1,11 @@
+package loadgen
+
+import (
+	"testing"
+
+	"dlrmperf/internal/leakcheck"
+)
+
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}

@@ -1,0 +1,44 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"dlrmperf/internal/serve"
+)
+
+// traceFile is the checked-in trace format: either a bare JSON array
+// of serve.Request rows or an object wrapping it under "requests"
+// (room for metadata next to the rows).
+type traceFile struct {
+	Requests []serve.Request `json:"requests"`
+}
+
+// LoadTrace reads a replay trace from path. Tenant and priority tags
+// on trace rows are advisory — the scheduler overwrites them with the
+// firing tenant's spec, keeping tenancy a serve-layer property of the
+// run, not of the recorded workload.
+func LoadTrace(path string) ([]serve.Request, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows []serve.Request
+	if err := json.Unmarshal(data, &rows); err != nil {
+		var tf traceFile
+		if err2 := json.Unmarshal(data, &tf); err2 != nil {
+			return nil, fmt.Errorf("loadgen: %s is neither a request array nor a trace object: %w", path, err)
+		}
+		rows = tf.Requests
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("loadgen: trace %s has no requests", path)
+	}
+	for i := range rows {
+		if rows[i].Workload == "" {
+			return nil, fmt.Errorf("loadgen: trace %s row %d has no workload", path, i)
+		}
+	}
+	return rows, nil
+}

@@ -8,6 +8,13 @@
 // result cache, so an open-ended request stream pays for each distinct
 // scenario once.
 //
+// Admission is tenant-fair: requests carry an optional tenant tag and
+// priority class ("high"/"normal"/"low"), the queue bounds each
+// tenant's share of its capacity, and dequeue order is weighted
+// round-robin across classes and round-robin across tenants within a
+// class — one hot client cannot starve the queue (see fair.go). The
+// Retry-After hint on 429/503 adapts to the observed drain rate.
+//
 // Endpoints (see Handler):
 //
 //	POST /v1/predict        one request  -> one result row (429 when the queue is full)
@@ -31,7 +38,6 @@ import (
 	"time"
 
 	"dlrmperf"
-	"dlrmperf/internal/xsync"
 )
 
 // Backend is the engine surface the server drives — implemented by
@@ -60,9 +66,18 @@ type Config struct {
 	// a request's TimeoutMs can only tighten it. The clock starts at
 	// admission, so time spent queued counts against the deadline.
 	RequestTimeout time.Duration
-	// RetryAfter is the backpressure hint returned with 429/503
-	// responses. Default 1s.
+	// TenantQueueCap bounds one tenant's share of the admission queue.
+	// Default half of QueueDepth (minimum 1), so a single hot tenant
+	// always leaves room for others to be admitted. Values above
+	// QueueDepth are clamped to it.
+	TenantQueueCap int
+	// RetryAfter is the FLOOR of the backpressure hint returned with
+	// 429/503 responses; the hint itself adapts upward to the
+	// estimated backlog drain time (queued requests x smoothed service
+	// time / workers). Default 1s.
 	RetryAfter time.Duration
+	// MaxRetryAfter caps the adaptive hint. Default 30s.
+	MaxRetryAfter time.Duration
 	// MaxBodyBytes bounds HTTP request bodies (default 16 MiB) so a
 	// single oversized POST cannot balloon memory before admission
 	// control even runs.
@@ -86,8 +101,23 @@ func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
+	if c.TenantQueueCap <= 0 {
+		c.TenantQueueCap = c.QueueDepth / 2
+		if c.TenantQueueCap < 1 {
+			c.TenantQueueCap = 1
+		}
+	}
+	if c.TenantQueueCap > c.QueueDepth {
+		c.TenantQueueCap = c.QueueDepth
+	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
+	}
+	if c.MaxRetryAfter <= 0 {
+		c.MaxRetryAfter = 30 * time.Second
+	}
+	if c.MaxRetryAfter < c.RetryAfter {
+		c.MaxRetryAfter = c.RetryAfter
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 16 << 20
@@ -105,6 +135,12 @@ func (c Config) withDefaults() Config {
 // capacity — the backpressure signal behind HTTP 429.
 var ErrQueueFull = errors.New("serve: admission queue full")
 
+// ErrTenantLimited rejects a non-blocking admission when the request's
+// tenant has exhausted its fair share of the queue while the queue
+// itself still has room — also HTTP 429, but attributable to the hot
+// tenant rather than global load.
+var ErrTenantLimited = errors.New("serve: tenant queue share exhausted")
+
 // ErrDraining rejects admissions while the server drains — the signal
 // behind HTTP 503 during shutdown.
 var ErrDraining = errors.New("serve: server draining")
@@ -118,6 +154,14 @@ type job struct {
 	ctx  context.Context
 	req  Request
 	done chan Result
+
+	// Fair-queue state: the canonical tenant (stamped by push), the
+	// priority class, when the job entered the queue, and the queue
+	// wait the dequeue measured (surfaced as Result.QueueWaitUs).
+	tenant     string
+	pri        uint8
+	enqueuedAt time.Time
+	waitNs     int64
 }
 
 var jobPool = sync.Pool{
@@ -128,13 +172,17 @@ var jobPool = sync.Pool{
 func putJob(j *job) {
 	j.ctx = nil
 	j.req = Request{}
+	j.tenant = ""
+	j.pri = 0
+	j.enqueuedAt = time.Time{}
+	j.waitNs = 0
 	jobPool.Put(j)
 }
 
 // Server owns the admission queue and worker pool over one Backend.
 type Server struct {
-	cfg   Config
-	queue chan *job
+	cfg Config
+	q   *fairQueue
 
 	workers sync.WaitGroup
 
@@ -146,11 +194,11 @@ type Server struct {
 	jobs     sync.WaitGroup
 	closed   sync.Once
 
-	received         atomic.Uint64
-	queueFullRejects atomic.Uint64
-	drainingRejects  atomic.Uint64
-	canceledAdmits   atomic.Uint64
-	peakQueue        atomic.Int64
+	received             atomic.Uint64
+	queueFullRejects     atomic.Uint64
+	tenantLimitedRejects atomic.Uint64
+	drainingRejects      atomic.Uint64
+	canceledAdmits       atomic.Uint64
 
 	servedMu   sync.Mutex
 	servedDevs map[string]bool
@@ -162,7 +210,7 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:        cfg,
-		queue:      make(chan *job, cfg.QueueDepth),
+		q:          newFairQueue(cfg.QueueDepth, cfg.TenantQueueCap),
 		servedDevs: map[string]bool{},
 	}
 	for i := 0; i < cfg.Workers; i++ {
@@ -174,8 +222,15 @@ func New(cfg Config) *Server {
 
 func (s *Server) worker() {
 	defer s.workers.Done()
-	for j := range s.queue {
-		j.done <- s.serveOne(j)
+	for {
+		j, ok := s.q.pop()
+		if !ok {
+			return
+		}
+		start := time.Now()
+		res := s.serveOne(j)
+		s.q.observeService(time.Since(start))
+		j.done <- res
 	}
 }
 
@@ -185,6 +240,7 @@ func (s *Server) worker() {
 // fast inside the engine instead of computing past its deadline.
 func (s *Server) serveOne(j *job) Result {
 	res := resultFrom(j.req, s.cfg.Backend.PredictContext(j.ctx, j.req.ToPredict()))
+	res.QueueWaitUs = j.waitNs / 1e3
 	if res.Error == "" {
 		s.servedMu.Lock()
 		s.servedDevs[j.req.Device] = true
@@ -209,13 +265,14 @@ func (s *Server) requestContext(ctx context.Context, req Request) (context.Conte
 	return context.WithTimeout(ctx, timeout)
 }
 
-// admit pushes one request through the queue and waits for its result.
-// With wait=false a full queue fails fast with ErrQueueFull; with
-// wait=true admission blocks until space frees (backpressure by
-// blocking — the batch path), failing with the context error if the
-// caller expires first (counted as a canceled admission, distinct
-// from queue-full: the client gave up, which can happen even with
-// queue space free).
+// admit pushes one request through the fair queue and waits for its
+// result. With wait=false a violated bound fails fast with
+// ErrQueueFull (or ErrTenantLimited when only the tenant's share is
+// exhausted); with wait=true admission blocks until space frees
+// (backpressure by blocking — the batch path), failing with the
+// context error if the caller expires first (counted as a canceled
+// admission, distinct from queue-full: the client gave up, which can
+// happen even with queue space free).
 func (s *Server) admit(ctx context.Context, req Request, wait bool) (Result, error) {
 	s.received.Add(1)
 	s.admitMu.Lock()
@@ -234,26 +291,20 @@ func (s *Server) admit(ctx context.Context, req Request, wait bool) (Result, err
 	defer cancel()
 	j := jobPool.Get().(*job)
 	j.ctx, j.req = ctx, req
-	if wait {
-		select {
-		case s.queue <- j:
-		case <-ctx.Done():
-			putJob(j) // never enqueued: no worker can hold it
-			s.jobs.Done()
-			s.canceledAdmits.Add(1)
-			return Result{}, ctx.Err()
-		}
-	} else {
-		select {
-		case s.queue <- j:
-		default:
-			putJob(j) // never enqueued: no worker can hold it
-			s.jobs.Done()
+	j.pri, _ = priorityClass(req.Priority) // unknown strings already 400ed at the HTTP boundary; fall back to normal here
+	if err := s.q.push(ctx, j, wait); err != nil {
+		putJob(j) // never enqueued: no worker can hold it
+		s.jobs.Done()
+		switch {
+		case errors.Is(err, ErrQueueFull):
 			s.queueFullRejects.Add(1)
-			return Result{}, ErrQueueFull
+		case errors.Is(err, ErrTenantLimited):
+			s.tenantLimitedRejects.Add(1)
+		default: // ctx expired while blocked on admission
+			s.canceledAdmits.Add(1)
 		}
+		return Result{}, err
 	}
-	xsync.AtomicMax(&s.peakQueue, int64(len(s.queue)))
 	// The worker always delivers exactly one result (done is buffered,
 	// and workers drain every queued job before Drain stops them), and
 	// the job's context carries the deadline from admission, so this
@@ -317,7 +368,7 @@ func (s *Server) Drain() {
 	s.draining = true
 	s.admitMu.Unlock()
 	s.jobs.Wait()
-	s.closed.Do(func() { close(s.queue) })
+	s.closed.Do(func() { s.q.close() })
 	s.workers.Wait()
 }
 
@@ -361,9 +412,11 @@ func (s *Server) Stats() Stats {
 	validation := b.RejectedRequests()
 	hits, misses := b.CacheStats()
 	queueFull := s.queueFullRejects.Load()
+	tenantLimited := s.tenantLimitedRejects.Load()
 	draining := s.drainingRejects.Load()
 	canceledAdmits := s.canceledAdmits.Load()
 	ss := b.StreamStats()
+	depth, peakDepth, tenants := s.q.snapshot()
 	// ...the request total last (source).
 	requests := s.received.Load()
 
@@ -384,18 +437,21 @@ func (s *Server) Stats() Stats {
 		Served:   ss.Served,
 		Canceled: ss.Canceled,
 		Rejected: RejectedStats{
-			Validation: validation,
-			QueueFull:  queueFull,
-			Draining:   draining,
-			Canceled:   canceledAdmits,
+			Validation:    validation,
+			QueueFull:     queueFull,
+			TenantLimited: tenantLimited,
+			Draining:      draining,
+			Canceled:      canceledAdmits,
 		},
 		Queue: QueueStats{
-			Depth:        len(s.queue),
-			PeakDepth:    s.peakQueue.Load(),
-			Capacity:     s.cfg.QueueDepth,
-			Workers:      s.cfg.Workers,
-			InFlight:     ss.InFlight,
-			PeakInFlight: ss.PeakInFlight,
+			Depth:              depth,
+			PeakDepth:          peakDepth,
+			Capacity:           s.cfg.QueueDepth,
+			Workers:            s.cfg.Workers,
+			InFlight:           ss.InFlight,
+			PeakInFlight:       ss.PeakInFlight,
+			AvgServiceUs:       s.q.avgServiceUs(),
+			RetryAfterHintSecs: int(s.retryAfterHint() / time.Second),
 		},
 		Latency: LatencyStats{
 			AvgUs:   ss.AvgUs(),
@@ -409,6 +465,7 @@ func (s *Server) Stats() Stats {
 		},
 		Assets:       b.AssetStats(),
 		Calibrations: cals,
+		Tenants:      tenants,
 		Draining:     s.Draining(),
 	}
 }
@@ -425,9 +482,24 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// retryAfterSeconds renders the backpressure hint, at least 1s.
+// retryAfterHint is the adaptive backpressure hint: the estimated
+// backlog drain time, clamped between the configured floor
+// (cfg.RetryAfter) and ceiling (cfg.MaxRetryAfter). With no completed
+// request yet (no drain-rate observation) it falls back to the floor.
+func (s *Server) retryAfterHint() time.Duration {
+	d := s.q.drainEstimate(s.cfg.Workers)
+	if d < s.cfg.RetryAfter {
+		d = s.cfg.RetryAfter
+	}
+	if d > s.cfg.MaxRetryAfter {
+		d = s.cfg.MaxRetryAfter
+	}
+	return d
+}
+
+// retryAfterSeconds renders the adaptive backpressure hint, at least 1s.
 func (s *Server) retryAfterSeconds() string {
-	return RetryAfterSeconds(s.cfg.RetryAfter)
+	return RetryAfterSeconds(s.retryAfterHint())
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
@@ -436,11 +508,18 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		WriteJSON(w, http.StatusBadRequest, HTTPError{Code: "bad_request", Message: err.Error()})
 		return
 	}
+	if _, ok := priorityClass(req.Priority); !ok {
+		WriteJSON(w, http.StatusBadRequest, HTTPError{Code: "bad_priority", Message: "priority must be one of high, normal, low"})
+		return
+	}
 	res, err := s.TrySubmit(r.Context(), req)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", s.retryAfterSeconds())
 		WriteJSON(w, http.StatusTooManyRequests, HTTPError{Code: "queue_full", Message: err.Error()})
+	case errors.Is(err, ErrTenantLimited):
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
+		WriteJSON(w, http.StatusTooManyRequests, HTTPError{Code: "tenant_limited", Message: err.Error()})
 	case errors.Is(err, ErrDraining):
 		w.Header().Set("Retry-After", s.retryAfterSeconds())
 		WriteJSON(w, http.StatusServiceUnavailable, HTTPError{Code: "draining", Message: err.Error()})
@@ -470,6 +549,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			Message: fmt.Sprintf("batch of %d exceeds the %d-row limit; split it", len(reqs), s.cfg.MaxBatch),
 		})
 		return
+	}
+	for i := range reqs {
+		if _, ok := priorityClass(reqs[i].Priority); !ok {
+			WriteJSON(w, http.StatusBadRequest, HTTPError{
+				Code:    "bad_priority",
+				Message: fmt.Sprintf("row %d: priority must be one of high, normal, low", i),
+			})
+			return
+		}
 	}
 	WriteJSON(w, http.StatusOK, s.Run(r.Context(), reqs))
 }

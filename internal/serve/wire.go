@@ -28,6 +28,17 @@ type Request struct {
 	// computation they started keeps running and lands in the result
 	// cache.
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// Tenant tags the request for per-tenant fair admission and the
+	// per-tenant /stats breakdown. It is a serve-layer field only —
+	// never part of the scenario identity, so two tenants asking for
+	// the same scenario share one cached prediction. Empty means the
+	// "default" tenant.
+	Tenant string `json:"tenant,omitempty"`
+	// Priority selects the admission class: "high", "normal" (or
+	// empty), or "low". Higher classes get a larger weighted share of
+	// the dequeue order; no class is ever fully starved. Like Tenant it
+	// never enters the scenario identity.
+	Priority string `json:"priority,omitempty"`
 }
 
 // ToPredict maps the wire request onto the facade request.
@@ -50,7 +61,11 @@ type Result struct {
 	AllToAllUs        float64 `json:"alltoall_us,omitempty"`
 	ShardImbalance    float64 `json:"shard_imbalance,omitempty"`
 	CacheHit          bool    `json:"cache_hit,omitempty"`
-	Error             string  `json:"error,omitempty"`
+	// QueueWaitUs is the time this request spent in the admission
+	// queue before a worker picked it up — the fairness signal the
+	// loadgen SLO report separates from service time.
+	QueueWaitUs int64  `json:"queue_wait_us,omitempty"`
+	Error       string `json:"error,omitempty"`
 }
 
 // resultFrom flattens a facade result into the wire row.
@@ -94,20 +109,23 @@ type CacheStats struct {
 // RejectedStats breaks out the requests that never reached a
 // computation, by the wall they hit: scenario/device validation
 // (inside the engine, before the compute path), a full admission queue
-// (backpressure 429s), admissions refused because the server was
-// draining, and blocking admissions abandoned by the caller (its
-// context expired while waiting for queue space — the client gave up,
-// which can happen even with space free, so it is not a queue-full).
+// (backpressure 429s), a tenant that exhausted its fair queue share
+// while the queue itself had room (also 429, but the hot tenant's own
+// doing), admissions refused because the server was draining, and
+// blocking admissions abandoned by the caller (its context expired
+// while waiting for queue space — the client gave up, which can happen
+// even with space free, so it is not a queue-full).
 type RejectedStats struct {
-	Validation uint64 `json:"validation"`
-	QueueFull  uint64 `json:"queue_full"`
-	Draining   uint64 `json:"draining"`
-	Canceled   uint64 `json:"canceled_admissions"`
+	Validation    uint64 `json:"validation"`
+	QueueFull     uint64 `json:"queue_full"`
+	TenantLimited uint64 `json:"tenant_limited"`
+	Draining      uint64 `json:"draining"`
+	Canceled      uint64 `json:"canceled_admissions"`
 }
 
 // Total sums every never-computed bucket.
 func (r RejectedStats) Total() uint64 {
-	return r.Validation + r.QueueFull + r.Draining + r.Canceled
+	return r.Validation + r.QueueFull + r.TenantLimited + r.Draining + r.Canceled
 }
 
 // QueueStats is the admission queue's observable state.
@@ -124,6 +142,29 @@ type QueueStats struct {
 	Workers      int   `json:"workers"`
 	InFlight     int64 `json:"in_flight"`
 	PeakInFlight int64 `json:"peak_in_flight"`
+	// AvgServiceUs is the exponential moving average of per-request
+	// service time the adaptive Retry-After hint is derived from;
+	// RetryAfterHintSecs is the hint a 429/503 would carry right now
+	// (estimated backlog drain time, clamped to the configured bounds).
+	AvgServiceUs       float64 `json:"avg_service_us,omitempty"`
+	RetryAfterHintSecs int     `json:"retry_after_hint_secs,omitempty"`
+}
+
+// TenantStats is one tenant's row in the per-tenant /stats breakdown.
+// Requests counts admissions that reached the fair queue (the draining
+// gate sits before tenant resolution); Served the subset handed to a
+// worker; Shed the 429s (queue_full and tenant_limited); Canceled the
+// blocking admissions whose caller expired while waiting. Wait times
+// measure the queue only — service time is excluded.
+type TenantStats struct {
+	Requests    uint64  `json:"requests"`
+	Served      uint64  `json:"served"`
+	Shed        uint64  `json:"shed"`
+	Canceled    uint64  `json:"canceled"`
+	Queued      int     `json:"queued"`
+	TotalWaitUs int64   `json:"total_wait_us"`
+	AvgWaitUs   float64 `json:"avg_wait_us"`
+	MaxWaitUs   int64   `json:"max_wait_us"`
 }
 
 // LatencyStats aggregates per-request wall-clock latency inside the
@@ -160,7 +201,12 @@ type Stats struct {
 	// omitted). The cluster coordinator merges these per-worker maps to
 	// prove device-affine routing.
 	Calibrations map[string]int `json:"calibrations,omitempty"`
-	Draining     bool           `json:"draining"`
+	// Tenants is the per-tenant admission breakdown (absent until the
+	// first request reaches the fair queue). The rows are informational
+	// detail under the top-level invariant, not a second accounting
+	// identity: draining rejects are not tenant-attributed.
+	Tenants  map[string]TenantStats `json:"tenants,omitempty"`
+	Draining bool                   `json:"draining"`
 }
 
 // Accounted sums the terminal buckets of a snapshot: cache hits,
