@@ -90,7 +90,10 @@ explore-demo:
 # cluster-e2e runs the cross-process sharded-serving suite under the
 # race detector: 1 coordinator + 2 self-registering workers, device-
 # affine routing, a mid-run worker kill with transparent failover, and
-# the aggregated /stats invariant (the same step CI runs).
+# the aggregated /stats invariant — plus the replicated-control-plane
+# scenario (2 peered coordinators + 2 workers: SIGKILL the leader
+# mid-run without losing cached results, then SIGKILL a device's home
+# worker and require a warm asset hand-off). Same step CI runs.
 cluster-e2e:
 	$(GO) test -race -count=1 -run 'TestE2ECluster' -v ./cmd/dlrmperf-serve
 

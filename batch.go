@@ -401,6 +401,16 @@ func (e *Engine) SaveAssets(device string) ([]byte, error) {
 	return e.eng.SaveAssets(device)
 }
 
+// AssetsEpoch reports a device's asset-mutation counter: it advances on
+// calibration, installs, and overhead-DB collection. A cluster worker's
+// asset sync re-exports (SaveAssets) and re-pushes a device only when
+// its epoch has moved since the last push.
+func (e *Engine) AssetsEpoch(device string) uint64 { return e.eng.AssetsEpoch(device) }
+
+// CalibratedDevices lists the devices holding a resident calibration
+// (executed or installed), sorted — the set worth exporting.
+func (e *Engine) CalibratedDevices() []string { return e.eng.CalibratedDevices() }
+
 // LoadAssets warm-starts the engine from a SaveAssets payload: the
 // covered device will never calibrate again in this engine.
 func (e *Engine) LoadAssets(data []byte) error {

@@ -107,7 +107,8 @@ func main() {
 	fastCalib := flag.Bool("fast-calib", false, "low-fidelity calibration (eighth-size sweeps, tiny networks) for smoke tests and CI")
 	coordinator := flag.Bool("coordinator", false, "run as a cluster coordinator on -listen, sharding requests across workers instead of serving an engine")
 	staticWorkers := flag.String("static-workers", "", "comma-separated worker base URLs the coordinator always knows about (no heartbeat required)")
-	register := flag.String("register", "", "coordinator base URL this worker self-registers (and heartbeats) with; also enables the worker's POST /v1/drain")
+	peers := flag.String("peers", "", "comma-separated base URLs of the OTHER coordinators in a replicated control plane; enables the leader lease, registration forwarding, and result/asset gossip")
+	register := flag.String("register", "", "comma-separated coordinator base URLs this worker self-registers (and heartbeats, and pushes calibration assets) with; also enables the worker's POST /v1/drain")
 	advertise := flag.String("advertise", "", "base URL this worker advertises when registering (default http://<listen address>)")
 	heartbeat := flag.Duration("heartbeat", 2*time.Second, "worker re-registration interval under -register")
 	liveness := flag.Duration("liveness", cluster.DefaultLiveness, "coordinator liveness window: a registered worker missing heartbeats this long stops being routed to")
@@ -132,8 +133,12 @@ func main() {
 		err := runCoordinator(coordinatorConfig{
 			Addr:          *listen,
 			StaticWorkers: splitPaths(*staticWorkers),
+			Peers:         splitPaths(*peers),
+			Advertise:     *advertise,
 			Liveness:      *liveness,
 			RetryAfter:    *retryAfter,
+			MaxRetryAfter: *maxRetryAfter,
+			Heartbeat:     *heartbeat,
 			DrainGrace:    *drainGrace,
 			Seed:          *seed,
 			Pprof:         *pprofOn,
@@ -157,7 +162,7 @@ func main() {
 			MaxRetryAfter:  *maxRetryAfter,
 		},
 		DrainGrace: *drainGrace,
-		Register:   *register,
+		Register:   splitPaths(*register),
 		Advertise:  *advertise,
 		Heartbeat:  *heartbeat,
 		Pprof:      *pprofOn,
@@ -208,10 +213,13 @@ type serveConfig struct {
 	Stream serve.Config
 	// DrainGrace bounds the HTTP shutdown wait after a signal.
 	DrainGrace time.Duration
-	// Register names a cluster coordinator this worker self-registers
-	// with ("" disables); it also enables the worker's POST /v1/drain
-	// endpoint so the coordinator can propagate shutdown.
-	Register string
+	// Register lists the cluster coordinators this worker self-registers
+	// with (empty disables) — every one of them, so a replicated control
+	// plane keeps routing to this worker when its leader dies; it also
+	// enables the worker's POST /v1/drain endpoint so a coordinator can
+	// propagate shutdown, and heartbeat-time calibration-asset pushes
+	// into the coordinators' replicated vaults.
+	Register []string
 	// Advertise is the base URL sent on registration (default derived
 	// from the bound listener).
 	Advertise string
@@ -339,7 +347,7 @@ func listenAndServe(cfg serveConfig, addr string) error {
 
 	handler := http.Handler(srv.Handler())
 	stopHeartbeat := func() {}
-	if cfg.Register != "" {
+	if len(cfg.Register) > 0 {
 		mux := http.NewServeMux()
 		mux.Handle("/", handler)
 		// The coordinator-propagated drain: acknowledge, then feed the
@@ -356,13 +364,17 @@ func listenAndServe(cfg serveConfig, addr string) error {
 
 		advertise := cfg.Advertise
 		if advertise == "" {
-			advertise = "http://" + advertiseHostPort(ln, cfg.Register)
+			advertise = "http://" + advertiseHostPort(ln, cfg.Register[0])
 		}
 		hbCtx, hbCancel := context.WithCancel(context.Background())
 		defer hbCancel()
-		stopHeartbeat = cluster.Heartbeat(hbCtx, nil, cfg.Register, advertise, advertise, cfg.Heartbeat)
+		// The heartbeat reaches EVERY listed coordinator and carries
+		// asset pushes: each calibrated device's exported assets land in
+		// the coordinators' replicated vaults, so if this worker dies its
+		// devices' new homes are handed them instead of recalibrating.
+		stopHeartbeat = cluster.HeartbeatAssets(hbCtx, nil, cfg.Register, advertise, advertise, cfg.Heartbeat, eng)
 		defer stopHeartbeat()
-		fmt.Fprintf(os.Stderr, "dlrmperf-serve: registering with %s as %s\n", cfg.Register, advertise)
+		fmt.Fprintf(os.Stderr, "dlrmperf-serve: registering with %s as %s\n", strings.Join(cfg.Register, ","), advertise)
 	}
 
 	if cfg.Pprof {
@@ -459,11 +471,19 @@ func withPprof(next http.Handler) http.Handler {
 type coordinatorConfig struct {
 	Addr          string
 	StaticWorkers []string
+	// Peers lists the other coordinators of a replicated control plane;
+	// Advertise is the base URL peers reach this coordinator at
+	// (default derived from the bound listener).
+	Peers         []string
+	Advertise     string
 	Liveness      time.Duration
 	RetryAfter    time.Duration
-	DrainGrace    time.Duration
-	Seed          uint64
-	Pprof         bool
+	MaxRetryAfter time.Duration
+	// Heartbeat is the peer-probe interval under Peers.
+	Heartbeat  time.Duration
+	DrainGrace time.Duration
+	Seed       uint64
+	Pprof      bool
 }
 
 // runCoordinator serves the cluster coordinator until SIGTERM/SIGINT,
@@ -471,7 +491,11 @@ type coordinatorConfig struct {
 // the workers that registered with this coordinator. The engine
 // behind it is cache-only — it never calibrates; it just lends its
 // fingerprint result cache to the pass-through, so repeats of an
-// identical scenario are answered without a worker round trip.
+// identical scenario are answered without a worker round trip. With
+// Peers set the coordinator joins a replicated control plane: a
+// leader lease over the peer set, registrations forwarded through the
+// leader, and result/asset state gossiped so any surviving
+// coordinator routes warm after this one dies.
 func runCoordinator(cfg coordinatorConfig) error {
 	reg := cluster.NewRegistry(cfg.Liveness)
 	for _, u := range cfg.StaticWorkers {
@@ -481,18 +505,38 @@ func runCoordinator(cfg coordinatorConfig) error {
 	if err != nil {
 		return err
 	}
-	coord := cluster.New(cluster.Config{
-		Registry:   reg,
-		Cache:      cacheEng,
-		RetryAfter: cfg.RetryAfter,
-	})
 
+	// Listen before constructing the coordinator: with peers, the self
+	// URL the lease ranks by must name the ACTUAL bound address (a :0
+	// listener only knows it after Listen).
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return err
 	}
+	self := cfg.Advertise
+	if self == "" && len(cfg.Peers) > 0 {
+		self = "http://" + advertiseHostPort(ln, cfg.Peers[0])
+	}
+	coord := cluster.New(cluster.Config{
+		Registry:      reg,
+		Cache:         cacheEng,
+		RetryAfter:    cfg.RetryAfter,
+		MaxRetryAfter: cfg.MaxRetryAfter,
+		Self:          self,
+		Peers:         cfg.Peers,
+		LeaseTTL:      cfg.Liveness,
+	})
+
 	fmt.Fprintf(os.Stderr, "dlrmperf-serve: coordinator listening on %s (%d static workers, liveness %s)\n",
 		ln.Addr(), len(cfg.StaticWorkers), reg.TTL())
+	stopProbes := func() {}
+	if len(cfg.Peers) > 0 {
+		probeCtx, probeCancel := context.WithCancel(context.Background())
+		defer probeCancel()
+		stopProbes = coord.StartPeerProbes(probeCtx, cfg.Heartbeat)
+		defer stopProbes()
+		fmt.Fprintf(os.Stderr, "dlrmperf-serve: coordinator %s replicating with peers %s\n", self, strings.Join(cfg.Peers, ","))
+	}
 	handler := http.Handler(coord.Handler())
 	if cfg.Pprof {
 		handler = withPprof(handler)
@@ -511,9 +555,12 @@ func runCoordinator(cfg coordinatorConfig) error {
 		fmt.Fprintf(os.Stderr, "dlrmperf-serve: coordinator %v: draining\n", s)
 	}
 
-	// Drain order mirrors the worker: routes first (new admissions get
-	// 503 while in-flight ones finish on their workers), propagate the
-	// drain to owned workers, then close the HTTP server.
+	// Drain order mirrors the worker: peer probes stop (this
+	// coordinator stops refreshing its own view; peers age it out of
+	// theirs via /healthz turning "draining"), routes drain (new
+	// admissions get 503 while in-flight ones finish on their workers),
+	// the drain propagates to owned workers, then the HTTP server closes.
+	stopProbes()
 	coord.Drain(true)
 	shutCtx, cancel := context.WithTimeout(context.Background(), cfg.DrainGrace)
 	defer cancel()

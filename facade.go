@@ -40,6 +40,22 @@ func (e *Engine) RemoteResult(ctx context.Context, req PredictRequest, fetch fun
 	return e.eng.RemoteResult(ctx, ereq, fetch)
 }
 
+// InstallRemoteResult seeds the fingerprint result cache with an
+// externally computed value under the request's remote key — the
+// coordinator replication path, the write half of RemoteResult: a peer
+// coordinator that fetched a row from a worker shares it here so a
+// repeat hitting this coordinator is a cache hit. A request with no
+// cache identity is dropped (nothing to key it by), and no request
+// counters move — a replicated entry is an install, not a served
+// request.
+func (e *Engine) InstallRemoteResult(req PredictRequest, v any) {
+	ereq, err := toEngine(req)
+	if err != nil {
+		return
+	}
+	e.eng.InstallRemoteResult(ereq, v)
+}
+
 // fusedLookup builds the batched lookup op used by FuseEmbeddingBags.
 func fusedLookup(rows []int64, l, d int64, skew float64, backward bool) ops.EmbeddingLookup {
 	return ops.EmbeddingLookup{Rows: rows, L: l, D: d, ZipfSkew: skew, Backward: backward}

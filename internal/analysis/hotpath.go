@@ -61,6 +61,20 @@ var hotpathPackages = map[string]hotpathConfig{
 		},
 		stops: []string{},
 	},
+	"dlrmperf/internal/cluster": {
+		roots: []string{
+			// Per-request coordinator steady state: the lease check on
+			// every write, the adaptive Retry-After render on every
+			// shed, the hint EWMA fold on every worker 429, and the
+			// vault's hand-off decision probed on every routed request.
+			"Lease.Leader",
+			"Coordinator.retryAfter",
+			"Coordinator.observeWorkerHint",
+			"assetVault.needInstall",
+			"backpressureHint",
+		},
+		stops: []string{},
+	},
 	"dlrmperf/internal/loadgen": {
 		roots: []string{
 			// Per-completion accounting: runs once for every dispatched

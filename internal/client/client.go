@@ -202,6 +202,37 @@ func (c *Client) Register(ctx context.Context, id, url string) error {
 	return c.postJSON(ctx, "/v1/workers/register", body, nil)
 }
 
+// InstallAssets streams a SaveAssets payload to a worker
+// (POST /v1/assets/install) so the device it covers serves warm — the
+// cluster's asset hand-off on failover. The payload is already JSON
+// and is sent verbatim.
+func (c *Client) InstallAssets(ctx context.Context, assets []byte) error {
+	return c.postJSON(ctx, "/v1/assets/install", json.RawMessage(assets), nil)
+}
+
+// PushAssets uploads a worker's exported calibration assets for one
+// device to a coordinator's replicated vault
+// (POST /v1/workers/assets). epoch is the device's asset-mutation
+// counter at export time, so the coordinator can drop stale replays.
+func (c *Client) PushAssets(ctx context.Context, workerID, device string, epoch uint64, assets []byte) error {
+	body := struct {
+		ID     string          `json:"id"`
+		Device string          `json:"device"`
+		Epoch  uint64          `json:"epoch"`
+		Assets json.RawMessage `json:"assets"`
+	}{ID: workerID, Device: device, Epoch: epoch, Assets: assets}
+	return c.postJSON(ctx, "/v1/workers/assets", body, nil)
+}
+
+// PostJSON POSTs an arbitrary JSON body to path and decodes a 200 into
+// out (nil discards it) — the extension point coordinator peer
+// replication rides, so internal gossip reuses this client's
+// transport, body limits, and error taxonomy instead of hand-rolling
+// HTTP. Prefer the typed methods for any public wire operation.
+func (c *Client) PostJSON(ctx context.Context, path string, in, out any) error {
+	return c.postJSON(ctx, path, in, out)
+}
+
 // postJSON marshals in (nil means an empty body), POSTs it, and
 // decodes a 200 into out (nil discards the body). Non-200s decode into
 // typed errors.

@@ -26,7 +26,6 @@ import (
 	"fmt"
 	"net"
 	"net/http"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,10 +37,15 @@ import (
 )
 
 // ResultCache is the coordinator's pass-through cache surface —
-// implemented by *dlrmperf.Engine (RemoteResult), narrowed to an
-// interface so tests can substitute or disable it.
+// implemented by *dlrmperf.Engine (RemoteResult +
+// InstallRemoteResult), narrowed to an interface so tests can
+// substitute or disable it. InstallRemoteResult seeds an entry
+// without executing a fetch — the replication ingest path, so a
+// result fetched through ANY peer coordinator is a local hit here on
+// the next repeat of the same scenario fingerprint.
 type ResultCache interface {
 	RemoteResult(ctx context.Context, req dlrmperf.PredictRequest, fetch func() (any, error)) (v any, hit bool, err error)
+	InstallRemoteResult(req dlrmperf.PredictRequest, v any)
 }
 
 // Config parameterizes a Coordinator.
@@ -57,8 +61,25 @@ type Config struct {
 	// response wait — a cold worker legitimately spends minutes
 	// calibrating a device.
 	Client *http.Client
-	// RetryAfter is the backpressure hint on coordinator 503s. Default 1s.
+	// RetryAfter is the floor of the backpressure hint on coordinator
+	// 503s. Default 1s. The emitted hint adapts upward toward the
+	// workers' own observed 429 hints (see retryAfter), clamped to
+	// MaxRetryAfter.
 	RetryAfter time.Duration
+	// MaxRetryAfter caps the adaptive 503 hint. Default 30s (floored at
+	// RetryAfter).
+	MaxRetryAfter time.Duration
+	// Self is this coordinator's own base URL as peers reach it —
+	// required when Peers is non-empty, ignored otherwise.
+	Self string
+	// Peers lists the OTHER coordinators in a replicated control plane
+	// (base URLs). Non-empty enables the leader lease, registration
+	// forwarding, and result/asset gossip; empty (the default) keeps
+	// the single-coordinator behavior exactly.
+	Peers []string
+	// LeaseTTL is the peer-liveness window of the leader lease (default
+	// DefaultLiveness, same as worker liveness).
+	LeaseTTL time.Duration
 	// MaxBodyBytes bounds request bodies (default 16 MiB), MaxBatch the
 	// rows of one batch POST (default 4096), MaxGrid the expanded size
 	// of one explore POST (default 262144) — the same admission hygiene
@@ -81,6 +102,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
+	}
+	if c.MaxRetryAfter <= 0 {
+		c.MaxRetryAfter = 30 * time.Second
+	}
+	if c.MaxRetryAfter < c.RetryAfter {
+		c.MaxRetryAfter = c.RetryAfter
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 16 << 20
@@ -146,6 +173,16 @@ type Coordinator struct {
 	cfg Config
 	reg *Registry
 
+	// lease is the replicated-control-plane membership view; nil when
+	// Config.Peers is empty (single-coordinator mode).
+	lease *Lease
+	// vault replicates every worker's exported calibration assets so a
+	// device's new rendezvous home can be handed them on failover.
+	vault *assetVault
+	// repl tracks detached replication goroutines (gossip fans,
+	// registration forwards) so Drain can wait them out.
+	repl sync.WaitGroup
+
 	// admitMu guards draining against inflight.Add, exactly like the
 	// worker-side admission gate: Drain cannot start waiting while a
 	// request is between its draining check and its inflight add.
@@ -159,6 +196,14 @@ type Coordinator struct {
 	noWorkers       atomic.Uint64
 	drainingRejects atomic.Uint64
 
+	// hintUs is the EWMA of worker 429 Retry-After hints (microseconds),
+	// feeding the adaptive 503 hint. Zero until a hint is observed.
+	hintUs atomic.Int64
+
+	migrations           atomic.Uint64
+	migrationFailures    atomic.Uint64
+	peerResultsInstalled atomic.Uint64
+
 	routedMu sync.Mutex
 	routed   map[string]uint64
 }
@@ -168,7 +213,14 @@ func New(cfg Config) *Coordinator {
 	if cfg.Registry == nil {
 		panic("cluster: Config.Registry is required")
 	}
-	return &Coordinator{cfg: cfg.withDefaults(), reg: cfg.Registry, routed: map[string]uint64{}}
+	c := &Coordinator{cfg: cfg.withDefaults(), reg: cfg.Registry, routed: map[string]uint64{}, vault: newAssetVault()}
+	if len(c.cfg.Peers) > 0 {
+		if c.cfg.Self == "" {
+			panic("cluster: Config.Self is required with Peers")
+		}
+		c.lease = NewLease(c.cfg.Self, c.cfg.Peers, c.cfg.LeaseTTL)
+	}
+	return c
 }
 
 // Registry returns the coordinator's worker registry.
@@ -227,6 +279,13 @@ func (c *Coordinator) PredictOne(ctx context.Context, req serve.Request, blockin
 		return serve.Result{}, err
 	}
 	row := v.(serve.Result)
+	if !hit && c.cfg.Cache != nil {
+		// This caller executed the fetch (hit covers both cache reads and
+		// flight joins), so it is the one copy of the result that peers
+		// don't have yet: replicate the RAW row, pre-re-stamp, so every
+		// coordinator caches the same value a repeat would fetch.
+		c.replicateResult(req, row)
+	}
 	// The cached value carries the envelope of whichever request first
 	// fetched it; re-stamp this caller's own.
 	row.Request = req
@@ -255,6 +314,10 @@ func (c *Coordinator) forward(ctx context.Context, req serve.Request, blocking b
 			return serve.Result{}, ErrNoWorkers
 		}
 		w := ranked[0]
+		// Warm hand-off: if this worker is about to inherit a device whose
+		// calibration assets were exported by a (now dead or out-ranked)
+		// different home, install them before the first request lands.
+		c.ensureWarm(ctx, req.Device, w)
 		c.routedMu.Lock()
 		c.routed[w.ID]++
 		c.routedMu.Unlock()
@@ -319,11 +382,8 @@ func (c *Coordinator) call(ctx context.Context, w Worker, req serve.Request, blo
 	if err != nil {
 		var bp *client.ErrBackpressure
 		if errors.As(err, &bp) {
-			ra := ""
-			if bp.RetryAfter > 0 {
-				ra = strconv.Itoa(int(bp.RetryAfter / time.Second))
-			}
-			return serve.Result{}, &BackpressureError{RetryAfter: ra}
+			c.observeWorkerHint(bp.RetryAfter)
+			return serve.Result{}, &BackpressureError{RetryAfter: backpressureHint(bp.RetryAfter)}
 		}
 		// Every other typed client error — a worker 503 while draining
 		// included — is a routing failure the forward loop fails over
@@ -403,9 +463,14 @@ func (c *Coordinator) Stats(ctx context.Context) Stats {
 			Draining:     c.drainingRejects.Load(),
 		},
 		Coordinator: CoordinatorStats{
-			Received:       c.received.Load(),
-			LocalCacheHits: c.localHits.Load(),
+			Received:             c.received.Load(),
+			LocalCacheHits:       c.localHits.Load(),
+			Migrations:           c.migrations.Load(),
+			MigrationFailures:    c.migrationFailures.Load(),
+			PeerResultsInstalled: c.peerResultsInstalled.Load(),
 		},
+		Lease:    c.lease.Snapshot(),
+		Vault:    c.vault.snapshot(),
 		Draining: c.Draining(),
 	}
 	// Every coordinator-accounted attempt joins both sides of the
@@ -460,6 +525,7 @@ func (c *Coordinator) Drain(propagate bool) {
 	c.draining = true
 	c.admitMu.Unlock()
 	c.inflight.Wait()
+	c.repl.Wait() // outstanding gossip fans finish before shutdown
 	if !propagate {
 		return
 	}
@@ -489,6 +555,14 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/predict/batch", c.handleBatch)
 	mux.HandleFunc("POST /v1/explore", c.handleExplore)
 	mux.HandleFunc("POST /v1/workers/register", c.handleRegister)
+	mux.HandleFunc("POST /v1/workers/assets", c.handleWorkerAssets)
+	if c.lease != nil {
+		// Peer gossip is apply-only: these handlers install state locally
+		// and never re-forward, so replication cannot loop.
+		mux.HandleFunc("POST /v1/peers/register", c.handlePeerRegister)
+		mux.HandleFunc("POST /v1/peers/result", c.handlePeerResult)
+		mux.HandleFunc("POST /v1/peers/assets", c.handlePeerAssets)
+	}
 	mux.HandleFunc("GET /v1/scenarios", func(w http.ResponseWriter, _ *http.Request) {
 		serve.WriteJSON(w, http.StatusOK, dlrmperf.Scenarios())
 	})
@@ -497,7 +571,51 @@ func (c *Coordinator) Handler() http.Handler {
 	return mux
 }
 
-func (c *Coordinator) retryAfter() string { return serve.RetryAfterSeconds(c.cfg.RetryAfter) }
+// backpressureHint renders a worker's Retry-After duration for the
+// pass-through 429 header. Sub-second hints round UP to 1 second —
+// truncation would emit "0", telling clients to hammer a worker that
+// just asked them to back off. Non-positive means no hint.
+func backpressureHint(d time.Duration) string {
+	if d <= 0 {
+		return ""
+	}
+	return serve.RetryAfterSeconds(d)
+}
+
+// observeWorkerHint folds one worker 429 Retry-After hint into the
+// EWMA (alpha 1/4) behind the coordinator's adaptive 503 hint.
+func (c *Coordinator) observeWorkerHint(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	us := d.Microseconds()
+	for {
+		old := c.hintUs.Load()
+		next := us
+		if old > 0 {
+			next = old + (us-old)/4
+		}
+		if c.hintUs.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// retryAfter is the hint on coordinator-origin 503s (draining,
+// no_workers). It starts at the configured floor and adapts upward
+// toward the workers' own observed 429 hints — a coordinator fronting
+// saturated workers should not invite clients back sooner than the
+// workers themselves would — clamped to [RetryAfter, MaxRetryAfter].
+func (c *Coordinator) retryAfter() string {
+	d := c.cfg.RetryAfter
+	if hint := time.Duration(c.hintUs.Load()) * time.Microsecond; hint > d {
+		d = hint
+	}
+	if d > c.cfg.MaxRetryAfter {
+		d = c.cfg.MaxRetryAfter
+	}
+	return serve.RetryAfterSeconds(d)
+}
 
 func (c *Coordinator) handlePredict(w http.ResponseWriter, r *http.Request) {
 	var req serve.Request
@@ -565,6 +683,7 @@ func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 		reg.ID = reg.URL
 	}
 	c.reg.Register(reg.ID, reg.URL)
+	c.shareRegistration(reg)
 	serve.WriteJSON(w, http.StatusOK, map[string]any{
 		"ttl_ms":  c.reg.TTL().Milliseconds(),
 		"workers": len(c.reg.Live()),

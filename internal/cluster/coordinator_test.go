@@ -38,13 +38,30 @@ type fakeWorker struct {
 	misses     uint64
 	rejected   uint64
 	calibrated map[string]int
+	installed  map[string]bool
 	seen       map[string]bool
+	installs   uint64
 }
 
 func newFakeWorker(t *testing.T) *fakeWorker {
 	t.Helper()
-	fw := &fakeWorker{calibrated: map[string]int{}, seen: map[string]bool{}}
+	fw := &fakeWorker{calibrated: map[string]int{}, installed: map[string]bool{}, seen: map[string]bool{}}
 	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/assets/install", func(w http.ResponseWriter, r *http.Request) {
+		fw.maybeDie()
+		var blob struct {
+			Device string `json:"device"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&blob); err != nil || blob.Device == "" {
+			serve.WriteJSON(w, http.StatusBadRequest, serve.HTTPError{Code: "bad_assets", Message: "missing device"})
+			return
+		}
+		fw.mu.Lock()
+		fw.installed[blob.Device] = true
+		fw.installs++
+		fw.mu.Unlock()
+		serve.WriteJSON(w, http.StatusOK, map[string]string{"status": "installed"})
+	})
 	mux.HandleFunc("POST /v1/predict", func(w http.ResponseWriter, r *http.Request) {
 		fw.maybeDie()
 		var req serve.Request
@@ -105,7 +122,10 @@ func (fw *fakeWorker) serveRow(req serve.Request) serve.Result {
 		fw.rejected++
 		return serve.Result{Request: req, Error: "fake: rejected"}
 	}
-	if fw.calibrated[req.Device] == 0 {
+	// A device whose assets were installed serves warm: its ledger
+	// entry never appears — mirroring the real engine, where installed
+	// calibration skips the calibration path entirely.
+	if fw.calibrated[req.Device] == 0 && !fw.installed[req.Device] {
 		fw.calibrated[req.Device] = 1
 	}
 	key := fmt.Sprintf("%s|%s|%s|%d|%d", req.Workload, req.Scenario, req.Device, req.Batch, req.GPUs)
@@ -139,6 +159,28 @@ func (fw *fakeWorker) receivedCount() uint64 {
 	fw.mu.Lock()
 	defer fw.mu.Unlock()
 	return fw.received
+}
+
+func (fw *fakeWorker) installCount() uint64 {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	return fw.installs
+}
+
+func (fw *fakeWorker) hasInstalled(device string) bool {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	return fw.installed[device]
+}
+
+func (fw *fakeWorker) calibratedDevices() map[string]int {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	out := make(map[string]int, len(fw.calibrated))
+	for d, n := range fw.calibrated {
+		out[d] = n
+	}
+	return out
 }
 
 // newTestCluster wires n fake workers behind a coordinator as static

@@ -6,6 +6,9 @@ import (
 	"fmt"
 	"testing"
 	"time"
+
+	"dlrmperf"
+	"dlrmperf/internal/client"
 )
 
 // affineDevice returns a device name whose rendezvous rank-0 among the
@@ -239,4 +242,104 @@ func TestStaticWorkerQuarantineHeals(t *testing.T) {
 	if lv := reg.Live(); len(lv) != 2 {
 		t.Fatalf("live after quarantine lapse = %+v, want both", lv)
 	}
+}
+
+// TestInvariantAcrossHandoffAndMigration is the replication fault
+// drill: traffic flows through a two-coordinator group, the leader
+// dies (lease hand-off), then a device's home worker dies (asset
+// migration) — and at every quiescent point, on whichever coordinator
+// answers, the accounting identity hits + misses + rejected ==
+// requests still holds. Control-plane traffic (gossip, installs)
+// must move no request counters.
+func TestInvariantAcrossHandoffAndMigration(t *testing.T) {
+	engA, err := dlrmperf.NewEngineWith(dlrmperf.EngineConfig{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engB, err := dlrmperf.NewEngineWith(dlrmperf.EngineConfig{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cA, cB, urlA, urlB := peerPair(t, engA, engB)
+	leader, survivor := cA, cB
+	if urlB < urlA {
+		leader, survivor = cB, cA
+	}
+	w1, w2 := newFakeWorker(t), newFakeWorker(t)
+	for _, c := range []*Coordinator{cA, cB} {
+		c.Registry().AddStatic(w1.srv.URL)
+		c.Registry().AddStatic(w2.srv.URL)
+	}
+	// Both leases live: the lower URL holds the lease.
+	cA.Lease().MarkSeen(urlB)
+	cB.Lease().MarkSeen(urlA)
+	if !leader.Lease().IsLeader() || survivor.Lease().IsLeader() {
+		t.Fatalf("lease split: leader=%v survivor=%v", leader.Lease().Snapshot(), survivor.Lease().Snapshot())
+	}
+	ctx := context.Background()
+
+	// Phase 1: traffic through the leader — misses fetch from workers
+	// and replicate to the survivor.
+	dev := affineDevice(t, leader.Registry().Live(), w1.id)
+	for i := 0; i < 4; i++ {
+		if row, err := leader.PredictOne(ctx, req(dev, "w", int64(512+i%2)), false); err != nil || row.Error != "" {
+			t.Fatalf("phase 1 request %d: %v / %q", i, err, row.Error)
+		}
+	}
+	// The home's heartbeat pushed its calibration assets group-wide.
+	if err := (client.New(leader.Lease().Self())).PushAssets(ctx, w1.id, dev, 1, fakeAssets(dev)); err != nil {
+		t.Fatal(err)
+	}
+	leader.Drain(false) // quiesce the replication fan, then "kill" the leader
+	assertAggInvariant(t, leader.Stats(ctx))
+
+	// Phase 2: lease hand-off. The survivor ages the dead leader out of
+	// its window (injected clock — no sleeping) and takes the lease.
+	now := time.Now().Add(2 * DefaultLiveness)
+	survivor.lease.now = func() time.Time { return now }
+	if !survivor.Lease().IsLeader() {
+		t.Fatalf("survivor did not take the lease: %+v", survivor.Lease().Snapshot())
+	}
+	// No cached result was lost: the fingerprints fetched through the
+	// dead leader are local hits on the survivor — the workers see no
+	// re-fetch.
+	routed := w1.receivedCount() + w2.receivedCount()
+	for i := 0; i < 2; i++ {
+		row, err := survivor.PredictOne(ctx, req(dev, "w", int64(512+i)), false)
+		if err != nil || row.Error != "" || !row.CacheHit {
+			t.Fatalf("replicated re-query %d = %+v, %v; want a local hit", i, row, err)
+		}
+	}
+	if got := w1.receivedCount() + w2.receivedCount(); got != routed {
+		t.Fatalf("re-queries reached workers (%d -> %d routed), want local hits only", routed, got)
+	}
+	assertAggInvariant(t, survivor.Stats(ctx))
+	if gossiped := survivor.vault.snapshot()[dev]; gossiped.Worker != w1.id {
+		t.Fatalf("survivor's vault missing the gossiped assets: %+v", gossiped)
+	}
+
+	// Phase 3: the device's home dies. A FRESH fingerprint on the
+	// survivor coordinator fails over to w2 with the assets installed
+	// first — warm, ledger unchanged — and the invariant still holds:
+	// the broken attempt and the served retry are both accounted, the
+	// install is not.
+	w1.killed.Store(true)
+	row, err := survivor.PredictOne(ctx, req(dev, "w", 4096), false)
+	if err != nil || row.Error != "" || row.CacheHit {
+		t.Fatalf("migration request = %+v, %v; want a routed miss via w2", row, err)
+	}
+	if !w2.hasInstalled(dev) {
+		t.Fatal("w2 served the failover request cold")
+	}
+	if cals := w2.calibratedDevices(); cals[dev] != 0 {
+		t.Fatalf("w2's calibration ledger grew after the warm hand-off: %v", cals)
+	}
+	st := survivor.Stats(ctx)
+	if st.Rejected.WorkerFailed != 1 {
+		t.Fatalf("worker_failed = %d, want 1 (the broken attempt on w1)", st.Rejected.WorkerFailed)
+	}
+	if st.Coordinator.Migrations != 1 {
+		t.Fatalf("migrations = %d, want 1", st.Coordinator.Migrations)
+	}
+	assertAggInvariant(t, st)
 }

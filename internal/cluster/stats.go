@@ -62,6 +62,18 @@ func (r ClusterRejected) Total() uint64 {
 type CoordinatorStats struct {
 	Received       uint64 `json:"received"`
 	LocalCacheHits uint64 `json:"local_cache_hits"`
+	// Migrations counts completed warm asset hand-offs (dead home's
+	// assets installed on a device's new rendezvous owner);
+	// MigrationFailures counts installs that failed, where the new home
+	// proceeded cold. Hand-offs are control plane, not requests: they
+	// join no side of the accounting invariant.
+	Migrations        uint64 `json:"migrations,omitempty"`
+	MigrationFailures uint64 `json:"migration_failures,omitempty"`
+	// PeerResultsInstalled counts result rows this coordinator accepted
+	// from peer gossip into its local pass-through cache — the signal
+	// that replication landed, observable without a cache-polluting
+	// probe query. Control plane: moves no request counters.
+	PeerResultsInstalled uint64 `json:"peer_results_installed,omitempty"`
 }
 
 // WorkerStatus is one worker's row in the aggregated stats: its
@@ -103,8 +115,13 @@ type Stats struct {
 	// and so appear only in Coordinator.LocalCacheHits.
 	Tenants     map[string]serve.TenantStats `json:"tenants,omitempty"`
 	Coordinator CoordinatorStats             `json:"coordinator"`
-	Workers     []WorkerStatus               `json:"workers"`
-	Draining    bool                         `json:"draining"`
+	// Lease is the replicated-control-plane membership view (nil in
+	// single-coordinator mode); Vault the replicated per-device asset
+	// copies backing warm hand-off on failover.
+	Lease    *LeaseStatus           `json:"lease,omitempty"`
+	Vault    map[string]VaultStatus `json:"asset_vault,omitempty"`
+	Workers  []WorkerStatus         `json:"workers"`
+	Draining bool                   `json:"draining"`
 }
 
 // Accounted sums the terminal buckets; Accounted() <= Requests on

@@ -9,11 +9,38 @@ import (
 	"dlrmperf/internal/perfmodel"
 )
 
+// AssetFormatVersion is the SaveAssets wire-format version. Bump it
+// whenever the serialized layout changes incompatibly; LoadAssets
+// rejects any other version with *AssetFormatError, so a stale file or
+// a truncated blob arriving over the wire (cluster asset migration)
+// fails typed instead of installing silently-wrong calibration.
+const AssetFormatVersion = 1
+
+// AssetFormatError reports an asset payload this engine cannot load:
+// either its version header names a different format (Got >= 0), or
+// the bytes did not parse as an asset envelope at all (Got == -1, with
+// the decode failure in Err).
+type AssetFormatError struct {
+	Got  int // version found in the blob; -1 when it did not parse
+	Want int
+	Err  error // underlying decode error, when parsing failed
+}
+
+func (e *AssetFormatError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("engine: asset blob is not a version-%d asset payload: %v", e.Want, e.Err)
+	}
+	return fmt.Sprintf("engine: asset format version %d, want %d (re-export with SaveAssets)", e.Got, e.Want)
+}
+
+func (e *AssetFormatError) Unwrap() error { return e.Err }
+
 // wireAssets is the serialized per-device asset set: the calibrated
 // kernel-model registry plus whatever overhead databases were collected
 // — everything the paper's prediction track needs, so a fleet of
 // prediction servers can warm-start from one calibration run.
 type wireAssets struct {
+	Version   int                        `json:"version"`
 	Device    string                     `json:"device"`
 	Registry  json.RawMessage            `json:"registry"`
 	Overheads map[string]json.RawMessage `json:"overheads,omitempty"` // workload -> DB
@@ -32,7 +59,7 @@ func (e *Engine) SaveAssets(device string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	w := wireAssets{Device: device, Registry: reg, Overheads: map[string]json.RawMessage{}}
+	w := wireAssets{Version: AssetFormatVersion, Device: device, Registry: reg, Overheads: map[string]json.RawMessage{}}
 
 	dbs := map[string]*overhead.DB{}
 	var sharedDB *overhead.DB
@@ -64,10 +91,16 @@ func (e *Engine) SaveAssets(device string) ([]byte, error) {
 // LoadAssets warm-starts the engine from a SaveAssets payload and
 // returns the device it covers: subsequent predictions for that device
 // skip calibration (and skip profiling for every included overhead DB).
+// A payload whose format version does not match AssetFormatVersion —
+// including pre-versioned files (version 0) and bytes that do not parse
+// — is rejected with *AssetFormatError before anything installs.
 func (e *Engine) LoadAssets(data []byte) (string, error) {
 	var w wireAssets
 	if err := json.Unmarshal(data, &w); err != nil {
-		return "", fmt.Errorf("engine: parsing assets: %w", err)
+		return "", &AssetFormatError{Got: -1, Want: AssetFormatVersion, Err: err}
+	}
+	if w.Version != AssetFormatVersion {
+		return "", &AssetFormatError{Got: w.Version, Want: AssetFormatVersion}
 	}
 	if w.Device == "" {
 		return "", fmt.Errorf("engine: assets missing device name")
@@ -90,6 +123,7 @@ func (e *Engine) LoadAssets(data []byte) (string, error) {
 			return "", fmt.Errorf("engine: loading shared overheads: %w", err)
 		}
 		e.store.class(classOverheads).put("shared/"+w.Device, db, approxBytes(db))
+		e.bumpAssetEpoch(w.Device)
 	}
 	return w.Device, nil
 }

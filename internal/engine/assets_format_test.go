@@ -1,0 +1,166 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"dlrmperf/internal/hw"
+	"dlrmperf/internal/models"
+)
+
+// TestAssetFormatVersionGuard pins the export format contract:
+// SaveAssets stamps the current version, a round trip loads cleanly,
+// and a blob from a different format version is rejected with a typed
+// error naming both versions instead of being half-applied.
+func TestAssetFormatVersionGuard(t *testing.T) {
+	a := New(tinyOptions(7))
+	if res := a.Predict(NewRequest(hw.V100, models.NameDLRMDefault, 512)); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	data, err := a.SaveAssets(hw.V100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var envelope struct {
+		Version int `json:"version"`
+	}
+	if err := json.Unmarshal(data, &envelope); err != nil || envelope.Version != AssetFormatVersion {
+		t.Fatalf("export version = %d (%v), want %d", envelope.Version, err, AssetFormatVersion)
+	}
+
+	// Clean round trip at the current version.
+	b := New(tinyOptions(7))
+	if device, err := b.LoadAssets(data); err != nil || device != hw.V100 {
+		t.Fatalf("round trip = %q, %v", device, err)
+	}
+
+	// A future (or past) version is refused with the typed error.
+	var wire map[string]json.RawMessage
+	if err := json.Unmarshal(data, &wire); err != nil {
+		t.Fatal(err)
+	}
+	wire["version"] = json.RawMessage("99")
+	bumped, err := json.Marshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = New(tinyOptions(7)).LoadAssets(bumped)
+	var fe *AssetFormatError
+	if !errors.As(err, &fe) || fe.Got != 99 || fe.Want != AssetFormatVersion {
+		t.Fatalf("version-mismatch err = %v, want AssetFormatError{Got:99, Want:%d}", err, AssetFormatVersion)
+	}
+
+	// Pre-versioning blobs carry no version field and decode it as 0 —
+	// also a mismatch, not a silent acceptance.
+	delete(wire, "version")
+	legacy, err := json.Marshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(tinyOptions(7)).LoadAssets(legacy); !errors.As(err, &fe) || fe.Got != 0 {
+		t.Fatalf("versionless blob err = %v, want AssetFormatError{Got:0}", err)
+	}
+}
+
+// TestLoadAssetsCorruptedBlob: bytes that are not an asset export at
+// all surface the typed format error (Got -1: it never parsed), and
+// the engine stays usable.
+func TestLoadAssetsCorruptedBlob(t *testing.T) {
+	e := New(tinyOptions(7))
+	for _, blob := range [][]byte{
+		[]byte("not json at all"),
+		[]byte(`{"version":`),
+		{0xff, 0xfe, 0x00},
+	} {
+		_, err := e.LoadAssets(blob)
+		var fe *AssetFormatError
+		if !errors.As(err, &fe) || fe.Got != -1 {
+			t.Fatalf("corrupted blob %q err = %v, want AssetFormatError{Got:-1}", blob, err)
+		}
+	}
+	if res := e.Predict(NewRequest(hw.V100, models.NameDLRMDefault, 256)); res.Err != nil {
+		t.Fatalf("engine unusable after rejected loads: %v", res.Err)
+	}
+}
+
+// TestAssetEpochsAndCalibratedDevices pins the replication hooks the
+// cluster's asset vault rides: CalibratedDevices lists exactly the
+// devices holding calibration assets, and the per-device epoch moves
+// on every asset mutation — calibration and asset install alike — so
+// a worker's heartbeat knows when a re-push is due.
+func TestAssetEpochsAndCalibratedDevices(t *testing.T) {
+	e := New(tinyOptions(7))
+	if devs := e.CalibratedDevices(); len(devs) != 0 {
+		t.Fatalf("fresh engine lists calibrated devices: %v", devs)
+	}
+	if got := e.AssetsEpoch(hw.V100); got != 0 {
+		t.Fatalf("fresh epoch = %d, want 0", got)
+	}
+
+	if res := e.Predict(NewRequest(hw.V100, models.NameDLRMDefault, 512)); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if devs := e.CalibratedDevices(); len(devs) != 1 || devs[0] != hw.V100 {
+		t.Fatalf("calibrated devices = %v, want [%s]", devs, hw.V100)
+	}
+	afterCalib := e.AssetsEpoch(hw.V100)
+	if afterCalib == 0 {
+		t.Fatal("calibration did not move the asset epoch")
+	}
+
+	// Installing exported assets into another engine moves THAT
+	// engine's epoch (it now holds assets worth re-exporting), and the
+	// device joins its calibrated set without a calibration run.
+	data, err := e.SaveAssets(hw.V100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := New(tinyOptions(7))
+	if _, err := warm.LoadAssets(data); err != nil {
+		t.Fatal(err)
+	}
+	if got := warm.AssetsEpoch(hw.V100); got == 0 {
+		t.Fatal("asset install did not move the epoch")
+	}
+	if devs := warm.CalibratedDevices(); len(devs) != 1 || devs[0] != hw.V100 {
+		t.Fatalf("warm engine calibrated devices = %v, want [%s]", devs, hw.V100)
+	}
+	if got := warm.CalibrationRuns(hw.V100); got != 0 {
+		t.Fatalf("warm engine ran %d calibrations, want 0", got)
+	}
+	// Epochs are per-engine counters: untouched engines don't move.
+	if got := e.AssetsEpoch(hw.V100); got != afterCalib {
+		t.Fatalf("exporter epoch moved from %d to %d on a foreign install", afterCalib, got)
+	}
+}
+
+// TestInstallRemoteResult pins the replication ingest of the
+// pass-through cache: an installed row is a hit for the same scenario
+// fingerprint without any fetch, it moves no hit/miss counters at
+// install time, and installs are idempotent overwrites.
+func TestInstallRemoteResult(t *testing.T) {
+	e := New(Options{Seed: 1})
+	req := NewRequest("V100", "DLRM_default", 512)
+	e.InstallRemoteResult(req, "replicated")
+	e.InstallRemoteResult(req, "replicated") // idempotent
+
+	v, hit, err := e.RemoteResult(context.Background(), req, func() (any, error) {
+		t.Fatal("fetch executed for an installed result")
+		return nil, nil
+	})
+	if err != nil || !hit || v.(string) != "replicated" {
+		t.Fatalf("RemoteResult after install = (%v, hit=%v, %v), want the installed value", v, hit, err)
+	}
+	// Exactly one counter moved, and only at read time: the hit above.
+	if hits, misses := e.CacheStats(); hits != 1 || misses != 0 {
+		t.Fatalf("cache counters = %d/%d hit/miss, want 1/0 (installs are silent)", hits, misses)
+	}
+
+	// A distinct fingerprint still fetches.
+	other := NewRequest("V100", "DLRM_default", 1024)
+	if _, hit, _ := e.RemoteResult(context.Background(), other, func() (any, error) { return "fetched", nil }); hit {
+		t.Fatal("uninstalled fingerprint reported a hit")
+	}
+}

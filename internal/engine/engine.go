@@ -19,7 +19,9 @@ package engine
 import (
 	"context"
 	"runtime"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -149,6 +151,11 @@ type Engine struct {
 
 	mu        sync.Mutex
 	calibRuns map[string]int // device -> calibrations actually executed
+	// assetEpochs counts per-device asset mutations (calibration,
+	// installs, overhead-DB collection) — the change signal a cluster
+	// worker's asset sync uses to decide when a device's SaveAssets
+	// snapshot is stale and must be re-pushed to the coordinator.
+	assetEpochs map[string]uint64
 
 	// store is the unified metered asset store: every memoized artifact
 	// — calibrations (pinned), runs, overhead DBs, graphs, and finished
@@ -217,9 +224,10 @@ func (e *Engine) StreamStats() StreamStats {
 func New(opts Options) *Engine {
 	opts = opts.withDefaults()
 	e := &Engine{
-		opts:      opts,
-		calibRuns: map[string]int{},
-		store:     newAssetStore(opts),
+		opts:        opts,
+		calibRuns:   map[string]int{},
+		assetEpochs: map[string]uint64{},
+		store:       newAssetStore(opts),
 	}
 	if opts.ResultCacheSize > 0 {
 		e.results = e.store.class(classResult)
@@ -307,9 +315,40 @@ func (e *Engine) Calibration(device string) (*perfmodel.Calibration, error) {
 		e.calGate.Unlock()
 		e.mu.Lock()
 		e.calibRuns[device]++
+		e.assetEpochs[device]++
 		e.mu.Unlock()
 		return cal, nil
 	})
+}
+
+// bumpAssetEpoch advances a device's asset-mutation counter.
+func (e *Engine) bumpAssetEpoch(device string) {
+	e.mu.Lock()
+	e.assetEpochs[device]++
+	e.mu.Unlock()
+}
+
+// AssetsEpoch reports a device's asset-mutation counter: it advances
+// whenever the device calibrates, has assets installed, or collects an
+// overhead database, so a SaveAssets snapshot taken at one epoch is
+// current as long as the epoch has not moved.
+func (e *Engine) AssetsEpoch(device string) uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.assetEpochs[device]
+}
+
+// CalibratedDevices lists the devices with a resident calibration
+// (executed or installed), sorted — the set whose SaveAssets export is
+// cheap and worth replicating.
+func (e *Engine) CalibratedDevices() []string {
+	snap := e.store.class(classCalibration).snapshot()
+	out := make([]string, 0, len(snap))
+	for k := range snap {
+		out = append(out, strings.TrimPrefix(k, "cal/"))
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Install seeds the device cache with an already-calibrated (or
@@ -318,6 +357,7 @@ func (e *Engine) Calibration(device string) (*perfmodel.Calibration, error) {
 // amount of traffic.
 func (e *Engine) Install(device string, cal *perfmodel.Calibration) {
 	e.store.class(classCalibration).put("cal/"+device, cal, approxBytes(cal))
+	e.bumpAssetEpoch(device)
 }
 
 // InstallOverheads seeds the (device, workload) overhead cache.
@@ -325,6 +365,7 @@ func (e *Engine) Install(device string, cal *perfmodel.Calibration) {
 // collected one; if evicted they rebuild from this engine's own runs.
 func (e *Engine) InstallOverheads(device, workload string, db *overhead.DB) {
 	e.store.class(classOverheads).put("db/"+device+"/"+workload, db, approxBytes(db))
+	e.bumpAssetEpoch(device)
 }
 
 // CalibrationRuns reports how many calibrations actually executed for a
@@ -389,6 +430,7 @@ func (e *Engine) OverheadDB(device, model string) (*overhead.DB, error) {
 			}
 			c.Add(r.Trace)
 		}
+		e.bumpAssetEpoch(device)
 		return c.Finish(), nil
 	})
 }
@@ -407,6 +449,7 @@ func (e *Engine) SharedOverheadDB(device string) (*overhead.DB, error) {
 				c.Add(r.Trace)
 			}
 		}
+		e.bumpAssetEpoch(device)
 		return c.Finish(), nil
 	})
 }
@@ -697,6 +740,20 @@ func (e *Engine) RemoteResult(ctx context.Context, req Request, fetch func() (an
 	}
 	e.cacheHits.Add(1)
 	return got, true, nil
+}
+
+// InstallRemoteResult seeds the fingerprint result cache with an
+// externally computed value under the same "remote/" key RemoteResult
+// would use — the coordinator replication path: a peer that fetched a
+// row from a worker shares it, so a repeat hitting THIS engine is a
+// hit without a worker round trip. No request counters move — a
+// replicated entry is an install, not a served request — which keeps
+// hits + misses + rejected == requests intact on every coordinator.
+func (e *Engine) InstallRemoteResult(req Request, v any) {
+	if e.results == nil {
+		return
+	}
+	e.results.put("remote/"+req.Key(), v, approxBytes(v))
 }
 
 // fill copies a cached computation into the per-call result envelope.

@@ -1,0 +1,32 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRetryAfterSecondsRoundsUp pins the header rendering rule:
+// Retry-After rounds UP to whole seconds with a 1s floor. Truncation
+// would emit "0" for any sub-second adaptive hint — an instruction to
+// retry immediately against a server that just asked for backoff.
+func TestRetryAfterSecondsRoundsUp(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "1"},
+		{-time.Second, "1"},
+		{time.Nanosecond, "1"},
+		{50 * time.Millisecond, "1"},
+		{999 * time.Millisecond, "1"},
+		{time.Second, "1"},
+		{time.Second + time.Millisecond, "2"},
+		{2500 * time.Millisecond, "3"},
+		{30 * time.Second, "30"},
+	}
+	for _, tc := range cases {
+		if got := RetryAfterSeconds(tc.d); got != tc.want {
+			t.Errorf("RetryAfterSeconds(%v) = %q, want %q", tc.d, got, tc.want)
+		}
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"sort"
@@ -51,6 +52,16 @@ type Backend interface {
 	StreamStats() dlrmperf.StreamStats
 	Devices() []string
 	CalibrationRuns(device string) int
+}
+
+// AssetLoader is the optional backend surface behind
+// POST /v1/assets/install: installing a serialized calibration asset
+// payload (Engine.SaveAssets bytes) so the device it covers serves
+// warm without recalibrating — the cluster's hand-off path when a
+// device's rendezvous home dies. *dlrmperf.Engine implements it; a
+// backend that does not gets a 501 from the endpoint.
+type AssetLoader interface {
+	LoadAssets(data []byte) error
 }
 
 // Config parameterizes a Server.
@@ -199,6 +210,7 @@ type Server struct {
 	tenantLimitedRejects atomic.Uint64
 	drainingRejects      atomic.Uint64
 	canceledAdmits       atomic.Uint64
+	assetInstalls        atomic.Uint64
 
 	servedMu   sync.Mutex
 	servedDevs map[string]bool
@@ -463,10 +475,11 @@ func (s *Server) Stats() Stats {
 			Misses:   misses,
 			Rejected: validation,
 		},
-		Assets:       b.AssetStats(),
-		Calibrations: cals,
-		Tenants:      tenants,
-		Draining:     s.Draining(),
+		Assets:        b.AssetStats(),
+		Calibrations:  cals,
+		Tenants:       tenants,
+		AssetInstalls: s.assetInstalls.Load(),
+		Draining:      s.Draining(),
 	}
 }
 
@@ -476,6 +489,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/predict", s.handlePredict)
 	mux.HandleFunc("POST /v1/predict/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/explore", s.handleExplore)
+	mux.HandleFunc("POST /v1/assets/install", s.handleInstallAssets)
 	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
@@ -560,6 +574,35 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	WriteJSON(w, http.StatusOK, s.Run(r.Context(), reqs))
+}
+
+// handleInstallAssets accepts a SaveAssets payload and installs it —
+// the cluster warm hand-off target. Installs bypass the admission
+// queue (control plane, not a prediction) but still respect the drain
+// gate: a draining worker is leaving the routing set and must not
+// accept new device ownership.
+func (s *Server) handleInstallAssets(w http.ResponseWriter, r *http.Request) {
+	al, ok := s.cfg.Backend.(AssetLoader)
+	if !ok {
+		WriteJSON(w, http.StatusNotImplemented, HTTPError{Code: "unsupported", Message: "backend cannot install assets"})
+		return
+	}
+	if s.Draining() {
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
+		WriteJSON(w, http.StatusServiceUnavailable, HTTPError{Code: "draining", Message: ErrDraining.Error()})
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		WriteJSON(w, http.StatusBadRequest, HTTPError{Code: "bad_request", Message: err.Error()})
+		return
+	}
+	if err := al.LoadAssets(data); err != nil {
+		WriteJSON(w, http.StatusBadRequest, HTTPError{Code: "bad_assets", Message: err.Error()})
+		return
+	}
+	s.assetInstalls.Add(1)
+	WriteJSON(w, http.StatusOK, map[string]string{"status": "installed"})
 }
 
 func (s *Server) handleScenarios(w http.ResponseWriter, _ *http.Request) {

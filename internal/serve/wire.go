@@ -205,8 +205,12 @@ type Stats struct {
 	// first request reaches the fair queue). The rows are informational
 	// detail under the top-level invariant, not a second accounting
 	// identity: draining rejects are not tenant-attributed.
-	Tenants  map[string]TenantStats `json:"tenants,omitempty"`
-	Draining bool                   `json:"draining"`
+	Tenants map[string]TenantStats `json:"tenants,omitempty"`
+	// AssetInstalls counts POST /v1/assets/install payloads accepted —
+	// cluster warm hand-offs landed on this worker. Installs are control
+	// plane, not requests: they join no side of the accounting invariant.
+	AssetInstalls uint64 `json:"asset_installs,omitempty"`
+	Draining      bool   `json:"draining"`
 }
 
 // Accounted sums the terminal buckets of a snapshot: cache hits,
@@ -257,10 +261,14 @@ func WriteJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-// RetryAfterSeconds renders a backpressure hint as whole seconds, at
-// least 1 — the Retry-After header value on 429/503 responses.
+// RetryAfterSeconds renders a backpressure hint as whole seconds,
+// rounding UP with a 1s floor — the Retry-After header value on
+// 429/503 responses. Rounding up matters: truncation would render a
+// sub-second adaptive hint as "0" (retry immediately) and shave up to
+// a second off every fractional one, undercutting the backoff the
+// hint exists to request.
 func RetryAfterSeconds(d time.Duration) string {
-	secs := int(d / time.Second)
+	secs := int((d + time.Second - 1) / time.Second)
 	if secs < 1 {
 		secs = 1
 	}
